@@ -1,0 +1,87 @@
+// Command mamdr-train trains any (model, framework) combination on a
+// benchmark dataset and reports per-domain AUC.
+//
+// Usage:
+//
+//	mamdr-train -preset taobao-10 -model mlp -framework mamdr -epochs 15
+//	mamdr-train -data my_dataset.json -model star -framework alternate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"mamdr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mamdr-train: ")
+
+	var (
+		preset   = flag.String("preset", "taobao-10", "benchmark preset (ignored when -data is set)")
+		dataPath = flag.String("data", "", "path to a dataset JSON written by datagen")
+		samples  = flag.Int("samples", 10000, "dataset scale when generating a preset")
+		model    = flag.String("model", "mlp", "model structure: "+strings.Join(mamdr.ModelNames(), ", "))
+		fw       = flag.String("framework", "mamdr", "learning framework: "+strings.Join(mamdr.FrameworkNames(), ", "))
+		epochs   = flag.Int("epochs", 15, "training epochs")
+		batch    = flag.Int("batch", 64, "mini-batch size")
+		innerLR  = flag.Float64("lr", 0, "inner-loop learning rate α (0 = framework default)")
+		outerLR  = flag.Float64("outer-lr", 0, "DN outer-loop learning rate β (0 = default)")
+		drLR     = flag.Float64("dr-lr", 0, "DR learning rate γ (0 = default)")
+		sampleK  = flag.Int("k", 0, "DR helper-domain sample count (0 = default)")
+		embDim   = flag.Int("emb", 8, "embedding dimension")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var (
+		ds  *mamdr.Dataset
+		err error
+	)
+	if *dataPath != "" {
+		ds, err = mamdr.LoadDataset(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		ds, err = mamdr.GenerateDatasetErr(mamdr.DatasetSpec{Preset: *preset, TotalSamples: *samples, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("dataset %s: %d domains, %d samples\n", ds.Name, ds.NumDomains(), ds.TotalSamples())
+	fmt.Printf("training %s with %s for %d epochs...\n", *model, *fw, *epochs)
+	start := time.Now()
+	res, err := mamdr.Train(mamdr.TrainSpec{
+		Dataset:   ds,
+		Model:     *model,
+		Framework: *fw,
+		Epochs:    *epochs,
+		BatchSize: *batch,
+		InnerLR:   *innerLR,
+		OuterLR:   *outerLR,
+		DRLR:      *drLR,
+		SampleK:   *sampleK,
+		EmbDim:    *embDim,
+		Seed:      *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Domain\tSamples\tVal AUC\tTest AUC")
+	for d, dom := range ds.Domains {
+		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\n", dom.Name, dom.Samples(), res.ValAUC[d], res.TestAUC[d])
+	}
+	fmt.Fprintf(w, "MEAN\t\t%.4f\t%.4f\n", res.MeanValAUC, res.MeanTestAUC)
+	w.Flush()
+}

@@ -1,0 +1,52 @@
+// Quickstart: generate a Taobao-10 benchmark equivalent, train an MLP
+// with the MAMDR framework (Domain Negotiation + Domain Regularization),
+// and report per-domain AUC against plain alternate training.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mamdr"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A multi-domain dataset: 10 Taobao theme domains with the
+	// paper's imbalance profile and CTR ratios, at laptop scale.
+	ds := mamdr.GenerateDataset(mamdr.DatasetSpec{
+		Preset:       "taobao-10",
+		TotalSamples: 8000,
+		Seed:         7,
+	})
+	fmt.Printf("dataset %s: %d domains, %d users, %d items, %d interactions\n\n",
+		ds.Name, ds.NumDomains(), ds.NumUsers, ds.NumItems, ds.TotalSamples())
+
+	// 2. Train the same MLP structure two ways.
+	baseline, err := mamdr.Train(mamdr.TrainSpec{
+		Dataset: ds, Model: "mlp", Framework: "alternate",
+		Epochs: 12, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ours, err := mamdr.Train(mamdr.TrainSpec{
+		Dataset: ds, Model: "mlp", Framework: "mamdr",
+		Epochs: 12, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Compare per-domain test AUC.
+	fmt.Println("domain                test AUC: alternate -> MAMDR")
+	for d, dom := range ds.Domains {
+		marker := ""
+		if ours.TestAUC[d] > baseline.TestAUC[d] {
+			marker = "  (+)"
+		}
+		fmt.Printf("%-20s  %.4f -> %.4f%s\n", dom.Name, baseline.TestAUC[d], ours.TestAUC[d], marker)
+	}
+	fmt.Printf("\nMEAN                  %.4f -> %.4f\n", baseline.MeanTestAUC, ours.MeanTestAUC)
+}

@@ -1,0 +1,86 @@
+// This example recreates the paper's motivating scenario: a platform
+// running themed recommendation domains — "what to take when traveling",
+// "how to dress up yourself for a party", and "things to prepare when a
+// baby is coming" — where the baby domain is newly launched and has very
+// little data.
+//
+// It shows the failure mode MAMDR targets: a separately-trained model
+// overfits the sparse domain, alternate training compromises across
+// conflicting domains, and MAMDR's Domain Regularization lets the sparse
+// domain borrow strength from its siblings without losing its identity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mamdr"
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Three themed domains sharing one user/item pool; the baby domain
+	// has 20x less data. ConflictStrength models the different
+	// purchasing patterns each theme's promotions induce.
+	ds := synth.Generate(synth.Config{
+		Name:             "taobao-themes",
+		Seed:             11,
+		ConflictStrength: 1.0,
+		Domains: []synth.DomainSpec{
+			{Name: "travel", Samples: 4000, CTRRatio: 0.30},
+			{Name: "party", Samples: 3000, CTRRatio: 0.40},
+			{Name: "baby", Samples: 180, CTRRatio: 0.25},
+		},
+	})
+	if err := ds.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d domains (baby has only %d samples)\n\n",
+		ds.Name, ds.NumDomains(), ds.Domains[2].Samples())
+
+	run := func(fw string) *mamdr.Result {
+		res, err := mamdr.Train(mamdr.TrainSpec{
+			Dataset: ds, Model: "mlp", Framework: fw,
+			Epochs: 12, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	separate := run("separate") // one model per domain, Figure 1(b)
+	alternate := run("alternate")
+	ours := run("mamdr")
+
+	fmt.Println("test AUC            travel   party    baby")
+	print3 := func(name string, r *mamdr.Result) {
+		fmt.Printf("%-18s  %.4f   %.4f   %.4f\n", name, r.TestAUC[0], r.TestAUC[1], r.TestAUC[2])
+	}
+	print3("separate", separate)
+	print3("alternate", alternate)
+	print3("MAMDR", ours)
+
+	fmt.Println("\nThe sparse baby domain is where Domain Regularization earns its")
+	fmt.Println("keep: separate training overfits it, MAMDR transfers only the")
+	fmt.Println("helpful signal from travel/party (Algorithm 2's fixed order).")
+
+	// Adding a new domain at serving time only requires a fresh specific
+	// parameter vector — demonstrate the platform property via the
+	// trained state's API.
+	if st, ok := ours.Predictor.(interface{ AddDomain() int }); ok {
+		id := st.AddDomain()
+		fmt.Printf("\nregistered a new domain at runtime: id=%d (serves with shared params until trained)\n", id)
+	}
+
+	// The state still predicts for existing domains after the addition.
+	b := ds.FullBatch(2, data.Val)
+	probs := ours.Predictor.Predict(b)
+	fmt.Printf("baby domain val predictions still served: %d scores, first=%.3f\n", len(probs), probs[0])
+
+	_ = framework.Keys // keep the import for the doc pointer below
+}

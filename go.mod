@@ -1,0 +1,3 @@
+module mamdr
+
+go 1.22

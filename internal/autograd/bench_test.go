@@ -1,0 +1,77 @@
+package autograd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTensors(rows, cols int) (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	return ParamRand(rows, cols, 1, rng), ParamRand(cols, rows, 1, rng)
+}
+
+func BenchmarkMatMul64x64(b *testing.B) {
+	x, y := benchTensors(64, 64)
+	xd, yd := x.Detach(), y.Detach()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(xd, yd)
+	}
+}
+
+func BenchmarkMatMulBackward64x64(b *testing.B) {
+	x, y := benchTensors(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.ZeroGrad()
+		y.ZeroGrad()
+		Sum(MatMul(x, y)).Backward()
+	}
+}
+
+func BenchmarkGather(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	table := ParamRand(10000, 16, 1, rng)
+	idx := make([]int, 256)
+	for i := range idx {
+		idx[i] = rng.Intn(10000)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table.ZeroGrad()
+		Sum(Gather(table, idx)).Backward()
+	}
+}
+
+func BenchmarkBCEWithLogits(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	logits := ParamRand(1024, 1, 2, rng)
+	labels := make([]float64, 1024)
+	for i := range labels {
+		labels[i] = float64(rng.Intn(2))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		logits.ZeroGrad()
+		BCEWithLogits(logits, labels).Backward()
+	}
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := ParamRand(256, 32, 1, rng).Detach()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SoftmaxRows(x)
+	}
+}
+
+func BenchmarkFMSecondOrder(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := ParamRand(256, 6*16, 1, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.ZeroGrad()
+		Sum(FMSecondOrder(x, 6, 16)).Backward()
+	}
+}

@@ -1,0 +1,321 @@
+package autograd
+
+import "fmt"
+
+// Add returns the elementwise sum a + b. Shapes must match.
+func Add(a, b *Tensor) *Tensor {
+	assertSameShape("Add", a, b)
+	data := make([]float64, len(a.Data))
+	for i := range data {
+		data[i] = a.Data[i] + b.Data[i]
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a, b)
+	if out.backward == nil && out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.Grad != nil {
+			for i, g := range out.Grad {
+				b.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Sub returns the elementwise difference a - b. Shapes must match.
+func Sub(a, b *Tensor) *Tensor {
+	assertSameShape("Sub", a, b)
+	data := make([]float64, len(a.Data))
+	for i := range data {
+		data[i] = a.Data[i] - b.Data[i]
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a, b)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.Grad != nil {
+			for i, g := range out.Grad {
+				b.Grad[i] -= g
+			}
+		}
+	}
+	return out
+}
+
+// Mul returns the elementwise (Hadamard) product a * b. Shapes must match.
+func Mul(a, b *Tensor) *Tensor {
+	assertSameShape("Mul", a, b)
+	data := make([]float64, len(a.Data))
+	for i := range data {
+		data[i] = a.Data[i] * b.Data[i]
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a, b)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * b.Data[i]
+			}
+		}
+		if b.Grad != nil {
+			for i, g := range out.Grad {
+				b.Grad[i] += g * a.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Scale returns s * a for a scalar constant s.
+func Scale(a *Tensor, s float64) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i := range data {
+		data[i] = a.Data[i] * s
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * s
+			}
+		}
+	}
+	return out
+}
+
+// AddScalar returns a + s elementwise for a scalar constant s.
+func AddScalar(a *Tensor, s float64) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i := range data {
+		data[i] = a.Data[i] + s
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// MatMul returns the matrix product a x b, where a is MxK and b is KxN.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("autograd: MatMul %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m, k, n := a.Rows, a.Cols, b.Cols
+	data := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		ar := a.Data[i*k : (i+1)*k]
+		or := data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			if av == 0 {
+				continue
+			}
+			br := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				or[j] += av * br[j]
+			}
+		}
+	}
+	out := newResult(m, n, data, nil, a, b)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		// dA = dOut x B^T
+		if a.Grad != nil {
+			for i := 0; i < m; i++ {
+				gr := out.Grad[i*n : (i+1)*n]
+				agr := a.Grad[i*k : (i+1)*k]
+				for p := 0; p < k; p++ {
+					br := b.Data[p*n : (p+1)*n]
+					var s float64
+					for j := 0; j < n; j++ {
+						s += gr[j] * br[j]
+					}
+					agr[p] += s
+				}
+			}
+		}
+		// dB = A^T x dOut
+		if b.Grad != nil {
+			for i := 0; i < m; i++ {
+				ar := a.Data[i*k : (i+1)*k]
+				gr := out.Grad[i*n : (i+1)*n]
+				for p := 0; p < k; p++ {
+					av := ar[p]
+					if av == 0 {
+						continue
+					}
+					bgr := b.Grad[p*n : (p+1)*n]
+					for j := 0; j < n; j++ {
+						bgr[j] += av * gr[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AddRowVector adds a 1xN bias row b to every row of the MxN tensor a.
+func AddRowVector(a, b *Tensor) *Tensor {
+	if b.Rows != 1 || b.Cols != a.Cols {
+		panic(fmt.Sprintf("autograd: AddRowVector %dx%d + %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	data := make([]float64, len(a.Data))
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			data[i*a.Cols+j] = a.Data[i*a.Cols+j] + b.Data[j]
+		}
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a, b)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g
+			}
+		}
+		if b.Grad != nil {
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < a.Cols; j++ {
+					b.Grad[j] += out.Grad[i*a.Cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MulColBroadcast multiplies each row of the MxN tensor a by the matching
+// entry of the Mx1 column c: out[i][j] = a[i][j] * c[i][0].
+func MulColBroadcast(a, c *Tensor) *Tensor {
+	if c.Cols != 1 || c.Rows != a.Rows {
+		panic(fmt.Sprintf("autograd: MulColBroadcast %dx%d * %dx%d", a.Rows, a.Cols, c.Rows, c.Cols))
+	}
+	data := make([]float64, len(a.Data))
+	for i := 0; i < a.Rows; i++ {
+		cv := c.Data[i]
+		for j := 0; j < a.Cols; j++ {
+			data[i*a.Cols+j] = a.Data[i*a.Cols+j] * cv
+		}
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a, c)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		for i := 0; i < a.Rows; i++ {
+			cv := c.Data[i]
+			var s float64
+			for j := 0; j < a.Cols; j++ {
+				g := out.Grad[i*a.Cols+j]
+				if a.Grad != nil {
+					a.Grad[i*a.Cols+j] += g * cv
+				}
+				s += g * a.Data[i*a.Cols+j]
+			}
+			if c.Grad != nil {
+				c.Grad[i] += s
+			}
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates tensors with equal row counts along the column
+// axis: [MxA, MxB, ...] -> Mx(A+B+...).
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("autograd: ConcatCols of nothing")
+	}
+	rows := ts[0].Rows
+	total := 0
+	for _, t := range ts {
+		if t.Rows != rows {
+			panic(fmt.Sprintf("autograd: ConcatCols row mismatch %d vs %d", t.Rows, rows))
+		}
+		total += t.Cols
+	}
+	data := make([]float64, rows*total)
+	off := 0
+	for _, t := range ts {
+		for i := 0; i < rows; i++ {
+			copy(data[i*total+off:i*total+off+t.Cols], t.Data[i*t.Cols:(i+1)*t.Cols])
+		}
+		off += t.Cols
+	}
+	out := newResult(rows, total, data, nil, ts...)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		off := 0
+		for _, t := range ts {
+			if t.Grad != nil {
+				for i := 0; i < rows; i++ {
+					src := out.Grad[i*total+off : i*total+off+t.Cols]
+					dst := t.Grad[i*t.Cols : (i+1)*t.Cols]
+					for j, g := range src {
+						dst[j] += g
+					}
+				}
+			}
+			off += t.Cols
+		}
+	}
+	return out
+}
+
+// SliceCols returns the column range [from, to) of a as a new tensor.
+func SliceCols(a *Tensor, from, to int) *Tensor {
+	if from < 0 || to > a.Cols || from >= to {
+		panic(fmt.Sprintf("autograd: SliceCols [%d,%d) of %d cols", from, to, a.Cols))
+	}
+	w := to - from
+	data := make([]float64, a.Rows*w)
+	for i := 0; i < a.Rows; i++ {
+		copy(data[i*w:(i+1)*w], a.Data[i*a.Cols+from:i*a.Cols+to])
+	}
+	out := newResult(a.Rows, w, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < w; j++ {
+					a.Grad[i*a.Cols+from+j] += out.Grad[i*w+j]
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package autograd
+
+import "fmt"
+
+// Field-embedding composite operations.
+//
+// Several CTR model structures (DeepFM, NeurFM) operate on a set of f
+// field-embedding vectors of dimension d per example. We represent such a
+// batch as an Nx(f*d) tensor whose row layout is [field0 | field1 | ...].
+// The composite ops below implement the factorization-machine style
+// pairwise interactions with hand-written backward passes (verified
+// against finite differences in the tests), avoiding an f^2 explosion of
+// graph nodes.
+
+func assertFields(op string, a *Tensor, fields, dim int) {
+	if a.Cols != fields*dim {
+		panic(fmt.Sprintf("autograd: %s expects %d cols (fields=%d, dim=%d), got %d", op, fields*dim, fields, dim, a.Cols))
+	}
+}
+
+// BiInteraction computes the NeurFM bi-interaction pooling of field
+// embeddings: for each example and each embedding coordinate k,
+//
+//	out[k] = 0.5 * ((Σ_f v_f[k])^2 - Σ_f v_f[k]^2),
+//
+// reducing an Nx(fields*dim) input to an Nxdim output. It equals the sum
+// of elementwise products over all field pairs.
+func BiInteraction(a *Tensor, fields, dim int) *Tensor {
+	assertFields("BiInteraction", a, fields, dim)
+	n := a.Rows
+	data := make([]float64, n*dim)
+	sums := make([]float64, n*dim) // S[b,k] = Σ_f v, reused in backward
+	for b := 0; b < n; b++ {
+		row := a.Data[b*a.Cols : (b+1)*a.Cols]
+		srow := sums[b*dim : (b+1)*dim]
+		orow := data[b*dim : (b+1)*dim]
+		for f := 0; f < fields; f++ {
+			for k := 0; k < dim; k++ {
+				v := row[f*dim+k]
+				srow[k] += v
+				orow[k] -= v * v
+			}
+		}
+		for k := 0; k < dim; k++ {
+			orow[k] = 0.5 * (srow[k]*srow[k] + orow[k])
+		}
+	}
+	out := newResult(n, dim, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad == nil {
+			return
+		}
+		for b := 0; b < n; b++ {
+			row := a.Data[b*a.Cols : (b+1)*a.Cols]
+			grow := a.Grad[b*a.Cols : (b+1)*a.Cols]
+			srow := sums[b*dim : (b+1)*dim]
+			orow := out.Grad[b*dim : (b+1)*dim]
+			for f := 0; f < fields; f++ {
+				for k := 0; k < dim; k++ {
+					// d out[k] / d v_f[k] = S[k] - v_f[k]
+					grow[f*dim+k] += orow[k] * (srow[k] - row[f*dim+k])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FMSecondOrder computes the factorization-machine second-order term per
+// example: 0.5 * Σ_k ((Σ_f v_f[k])^2 - Σ_f v_f[k]^2), reducing an
+// Nx(fields*dim) input to an Nx1 column. It equals the sum over all field
+// pairs of their embedding inner products.
+func FMSecondOrder(a *Tensor, fields, dim int) *Tensor {
+	assertFields("FMSecondOrder", a, fields, dim)
+	n := a.Rows
+	data := make([]float64, n)
+	sums := make([]float64, n*dim)
+	for b := 0; b < n; b++ {
+		row := a.Data[b*a.Cols : (b+1)*a.Cols]
+		srow := sums[b*dim : (b+1)*dim]
+		var sq float64
+		for f := 0; f < fields; f++ {
+			for k := 0; k < dim; k++ {
+				v := row[f*dim+k]
+				srow[k] += v
+				sq += v * v
+			}
+		}
+		var s2 float64
+		for k := 0; k < dim; k++ {
+			s2 += srow[k] * srow[k]
+		}
+		data[b] = 0.5 * (s2 - sq)
+	}
+	out := newResult(n, 1, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad == nil {
+			return
+		}
+		for b := 0; b < n; b++ {
+			row := a.Data[b*a.Cols : (b+1)*a.Cols]
+			grow := a.Grad[b*a.Cols : (b+1)*a.Cols]
+			srow := sums[b*dim : (b+1)*dim]
+			g := out.Grad[b]
+			for f := 0; f < fields; f++ {
+				for k := 0; k < dim; k++ {
+					grow[f*dim+k] += g * (srow[k] - row[f*dim+k])
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package autograd
+
+import (
+	"fmt"
+	"math"
+)
+
+// BCEWithLogits computes the mean binary cross-entropy between logits
+// (Nx1) and labels (N values in {0,1}), fusing the sigmoid for numerical
+// stability:
+//
+//	loss_i = max(x,0) - x*y + log(1 + exp(-|x|))
+//
+// The result is a 1x1 scalar suitable for Backward.
+func BCEWithLogits(logits *Tensor, labels []float64) *Tensor {
+	if logits.Cols != 1 || logits.Rows != len(labels) {
+		panic(fmt.Sprintf("autograd: BCEWithLogits logits %dx%d vs %d labels", logits.Rows, logits.Cols, len(labels)))
+	}
+	n := len(labels)
+	var total float64
+	for i, x := range logits.Data {
+		y := labels[i]
+		total += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
+	}
+	loss := total / float64(n)
+	out := newResult(1, 1, []float64{loss}, nil, logits)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if logits.Grad == nil {
+			return
+		}
+		g := out.Grad[0] / float64(n)
+		for i, x := range logits.Data {
+			p := 1 / (1 + math.Exp(-x))
+			logits.Grad[i] += g * (p - labels[i])
+		}
+	}
+	return out
+}
+
+// MSE computes the mean squared error between predictions (Nx1) and
+// targets as a 1x1 scalar.
+func MSE(pred *Tensor, targets []float64) *Tensor {
+	if pred.Cols != 1 || pred.Rows != len(targets) {
+		panic(fmt.Sprintf("autograd: MSE pred %dx%d vs %d targets", pred.Rows, pred.Cols, len(targets)))
+	}
+	n := len(targets)
+	var total float64
+	for i, x := range pred.Data {
+		d := x - targets[i]
+		total += d * d
+	}
+	out := newResult(1, 1, []float64{total / float64(n)}, nil, pred)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if pred.Grad == nil {
+			return
+		}
+		g := out.Grad[0] * 2 / float64(n)
+		for i, x := range pred.Data {
+			pred.Grad[i] += g * (x - targets[i])
+		}
+	}
+	return out
+}
+
+// L2Penalty returns lambda/2 * sum over all given tensors of the squared
+// Frobenius norm, as a 1x1 scalar attached to the graph.
+func L2Penalty(lambda float64, params ...*Tensor) *Tensor {
+	var total float64
+	for _, p := range params {
+		for _, v := range p.Data {
+			total += v * v
+		}
+	}
+	out := newResult(1, 1, []float64{lambda / 2 * total}, nil, params...)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		g := out.Grad[0] * lambda
+		for _, p := range params {
+			if p.Grad == nil {
+				continue
+			}
+			for i, v := range p.Data {
+				p.Grad[i] += g * v
+			}
+		}
+	}
+	return out
+}

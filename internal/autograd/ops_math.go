@@ -1,0 +1,290 @@
+package autograd
+
+import "math"
+
+// Sigmoid returns the elementwise logistic function 1/(1+exp(-x)).
+func Sigmoid(a *Tensor) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i, v := range a.Data {
+		data[i] = 1 / (1 + math.Exp(-v))
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				s := data[i]
+				a.Grad[i] += g * s * (1 - s)
+			}
+		}
+	}
+	return out
+}
+
+// ReLU returns max(x, 0) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i, v := range a.Data {
+		if v > 0 {
+			data[i] = v
+		}
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				if a.Data[i] > 0 {
+					a.Grad[i] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// LeakyReLU returns x for x>0 and slope*x otherwise, elementwise.
+func LeakyReLU(a *Tensor, slope float64) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i, v := range a.Data {
+		if v > 0 {
+			data[i] = v
+		} else {
+			data[i] = slope * v
+		}
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				if a.Data[i] > 0 {
+					a.Grad[i] += g
+				} else {
+					a.Grad[i] += g * slope
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Tanh returns the elementwise hyperbolic tangent.
+func Tanh(a *Tensor) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i, v := range a.Data {
+		data[i] = math.Tanh(v)
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * (1 - data[i]*data[i])
+			}
+		}
+	}
+	return out
+}
+
+// Exp returns e^x elementwise.
+func Exp(a *Tensor) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i, v := range a.Data {
+		data[i] = math.Exp(v)
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g * data[i]
+			}
+		}
+	}
+	return out
+}
+
+// Log returns the elementwise natural logarithm. Inputs are clamped to a
+// small positive epsilon to keep the graph finite.
+func Log(a *Tensor) *Tensor {
+	const eps = 1e-12
+	data := make([]float64, len(a.Data))
+	for i, v := range a.Data {
+		data[i] = math.Log(math.Max(v, eps))
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += g / math.Max(a.Data[i], eps)
+			}
+		}
+	}
+	return out
+}
+
+// Square returns x*x elementwise.
+func Square(a *Tensor) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i, v := range a.Data {
+		data[i] = v * v
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i, g := range out.Grad {
+				a.Grad[i] += 2 * g * a.Data[i]
+			}
+		}
+	}
+	return out
+}
+
+// SoftmaxRows applies a numerically stable softmax independently to each
+// row of a.
+func SoftmaxRows(a *Tensor) *Tensor {
+	data := make([]float64, len(a.Data))
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		o := data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			o[j] = math.Exp(v - max)
+			sum += o[j]
+		}
+		for j := range o {
+			o[j] /= sum
+		}
+	}
+	out := newResult(a.Rows, a.Cols, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad == nil {
+			return
+		}
+		for i := 0; i < a.Rows; i++ {
+			s := data[i*a.Cols : (i+1)*a.Cols]
+			g := out.Grad[i*a.Cols : (i+1)*a.Cols]
+			var dot float64
+			for j := range s {
+				dot += s[j] * g[j]
+			}
+			ag := a.Grad[i*a.Cols : (i+1)*a.Cols]
+			for j := range s {
+				ag[j] += s[j] * (g[j] - dot)
+			}
+		}
+	}
+	return out
+}
+
+// Sum reduces all elements of a to a 1x1 scalar.
+func Sum(a *Tensor) *Tensor {
+	var s float64
+	for _, v := range a.Data {
+		s += v
+	}
+	out := newResult(1, 1, []float64{s}, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			g := out.Grad[0]
+			for i := range a.Grad {
+				a.Grad[i] += g
+			}
+		}
+	}
+	return out
+}
+
+// Mean reduces all elements of a to their arithmetic mean as a scalar.
+func Mean(a *Tensor) *Tensor {
+	return Scale(Sum(a), 1/float64(a.Size()))
+}
+
+// SumRows reduces each row of the MxN tensor a to a single value,
+// producing an Mx1 column.
+func SumRows(a *Tensor) *Tensor {
+	data := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for j := 0; j < a.Cols; j++ {
+			s += a.Data[i*a.Cols+j]
+		}
+		data[i] = s
+	}
+	out := newResult(a.Rows, 1, data, nil, a)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		if a.Grad != nil {
+			for i := 0; i < a.Rows; i++ {
+				g := out.Grad[i]
+				for j := 0; j < a.Cols; j++ {
+					a.Grad[i*a.Cols+j] += g
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RowDot computes the per-row inner product of two MxN tensors,
+// producing an Mx1 column: out[i] = <a[i,:], b[i,:]>.
+func RowDot(a, b *Tensor) *Tensor {
+	assertSameShape("RowDot", a, b)
+	data := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		var s float64
+		for j := 0; j < a.Cols; j++ {
+			s += a.Data[i*a.Cols+j] * b.Data[i*a.Cols+j]
+		}
+		data[i] = s
+	}
+	out := newResult(a.Rows, 1, data, nil, a, b)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		for i := 0; i < a.Rows; i++ {
+			g := out.Grad[i]
+			for j := 0; j < a.Cols; j++ {
+				if a.Grad != nil {
+					a.Grad[i*a.Cols+j] += g * b.Data[i*a.Cols+j]
+				}
+				if b.Grad != nil {
+					b.Grad[i*a.Cols+j] += g * a.Data[i*a.Cols+j]
+				}
+			}
+		}
+	}
+	return out
+}

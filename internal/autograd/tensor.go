@@ -1,0 +1,225 @@
+// Package autograd implements a small reverse-mode automatic
+// differentiation engine over dense float64 tensors.
+//
+// The engine is deliberately minimal: it supports exactly the operations
+// needed by the CTR models and learning frameworks in this repository
+// (dense layers, embeddings, attention, factorization machines, and the
+// losses used for click-through-rate prediction). Tensors are at most
+// two-dimensional; a scalar is represented as a 1x1 tensor.
+//
+// A computation graph is built implicitly as operations are applied.
+// Calling Backward on a scalar output propagates gradients to every
+// reachable tensor whose RequiresGrad flag is set. Graphs are single-use:
+// build, Backward, then discard and rebuild on the next step.
+package autograd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major matrix of float64 values that can
+// participate in reverse-mode differentiation.
+type Tensor struct {
+	// Rows and Cols give the tensor's shape. A vector is 1xN or Nx1,
+	// a scalar is 1x1.
+	Rows, Cols int
+	// Data holds Rows*Cols values in row-major order.
+	Data []float64
+	// Grad accumulates the gradient of the loss with respect to Data.
+	// It is nil until the tensor participates in a backward pass (or is
+	// a parameter created with Param, which always carries a Grad buffer).
+	Grad []float64
+
+	requiresGrad bool
+	parents      []*Tensor
+	backward     func()
+}
+
+// New returns a tensor of the given shape backed by data. The slice is
+// used directly (not copied); len(data) must equal rows*cols.
+func New(rows, cols int, data []float64) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("autograd: New(%d, %d) with %d values", rows, cols, len(data)))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// Zeros returns a rows x cols tensor of zeros.
+func Zeros(rows, cols int) *Tensor {
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Scalar returns a 1x1 constant tensor holding v.
+func Scalar(v float64) *Tensor { return New(1, 1, []float64{v}) }
+
+// Param returns a rows x cols trainable tensor initialized with data.
+// Trainable tensors always carry an allocated gradient buffer.
+func Param(rows, cols int, data []float64) *Tensor {
+	t := New(rows, cols, data)
+	t.requiresGrad = true
+	t.Grad = make([]float64, len(data))
+	return t
+}
+
+// ParamZeros returns a zero-initialized trainable tensor.
+func ParamZeros(rows, cols int) *Tensor {
+	return Param(rows, cols, make([]float64, rows*cols))
+}
+
+// ParamRand returns a trainable tensor with entries drawn uniformly from
+// [-scale, scale] using rng.
+func ParamRand(rows, cols int, scale float64, rng *rand.Rand) *Tensor {
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return Param(rows, cols, data)
+}
+
+// ParamXavier returns a trainable tensor initialized with Glorot/Xavier
+// uniform initialization for a layer with the given fan-in and fan-out.
+func ParamXavier(rows, cols int, rng *rand.Rand) *Tensor {
+	limit := math.Sqrt(6.0 / float64(rows+cols))
+	return ParamRand(rows, cols, limit, rng)
+}
+
+// Size returns the number of elements in the tensor.
+func (t *Tensor) Size() int { return t.Rows * t.Cols }
+
+// RequiresGrad reports whether the tensor accumulates gradients.
+func (t *Tensor) RequiresGrad() bool { return t.requiresGrad }
+
+// SetRequiresGrad marks the tensor trainable (or not), allocating the
+// gradient buffer when enabling.
+func (t *Tensor) SetRequiresGrad(v bool) {
+	t.requiresGrad = v
+	if v && t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// At returns the element at row i, column j.
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Item returns the sole value of a scalar (1x1) tensor.
+func (t *Tensor) Item() float64 {
+	if t.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Item on %dx%d tensor", t.Rows, t.Cols))
+	}
+	return t.Data[0]
+}
+
+// Clone returns a deep copy of the tensor's value (graph edges and
+// gradients are not copied). The clone preserves the RequiresGrad flag.
+func (t *Tensor) Clone() *Tensor {
+	data := make([]float64, len(t.Data))
+	copy(data, t.Data)
+	c := New(t.Rows, t.Cols, data)
+	if t.requiresGrad {
+		c.SetRequiresGrad(true)
+	}
+	return c
+}
+
+// ZeroGrad clears the accumulated gradient in place.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.Grad {
+		t.Grad[i] = 0
+	}
+}
+
+// ensureGrad allocates the gradient buffer if absent.
+func (t *Tensor) ensureGrad() {
+	if t.Grad == nil {
+		t.Grad = make([]float64, len(t.Data))
+	}
+}
+
+// needsGraph reports whether an op over these inputs must record a
+// backward edge.
+func needsGraph(inputs ...*Tensor) bool {
+	for _, in := range inputs {
+		if in.requiresGrad || in.backward != nil || len(in.parents) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// newResult builds the output tensor of an op, wiring graph edges when any
+// input participates in differentiation.
+func newResult(rows, cols int, data []float64, bw func(), inputs ...*Tensor) *Tensor {
+	out := New(rows, cols, data)
+	if needsGraph(inputs...) {
+		out.parents = inputs
+		out.backward = bw
+		out.ensureGrad()
+	}
+	return out
+}
+
+// Backward runs reverse-mode differentiation from t, which must be a
+// scalar. Gradients are accumulated into the Grad buffers of all
+// reachable tensors that require gradients.
+func (t *Tensor) Backward() {
+	if t.Size() != 1 {
+		panic(fmt.Sprintf("autograd: Backward on non-scalar %dx%d tensor", t.Rows, t.Cols))
+	}
+	t.ensureGrad()
+	t.Grad[0] = 1
+
+	// Topologically order the graph (post-order DFS), then replay in
+	// reverse so each node's gradient is complete before it propagates
+	// to its parents.
+	var order []*Tensor
+	visited := map[*Tensor]bool{}
+	var visit func(n *Tensor)
+	visit = func(n *Tensor) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		for _, p := range n.parents {
+			visit(p)
+		}
+		order = append(order, n)
+	}
+	visit(t)
+
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		if n.backward != nil {
+			for _, p := range n.parents {
+				p.ensureGrad()
+			}
+			n.backward()
+		}
+	}
+}
+
+// Detach returns a view of the tensor's data with no graph history and no
+// gradient tracking. The returned tensor shares the Data slice.
+func (t *Tensor) Detach() *Tensor {
+	return &Tensor{Rows: t.Rows, Cols: t.Cols, Data: t.Data}
+}
+
+// String renders a compact description of the tensor.
+func (t *Tensor) String() string {
+	if t.Size() == 1 {
+		return fmt.Sprintf("Tensor(%g)", t.Data[0])
+	}
+	return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols)
+}
+
+func sameShape(a, b *Tensor) bool { return a.Rows == b.Rows && a.Cols == b.Cols }
+
+func assertSameShape(op string, a, b *Tensor) {
+	if !sameShape(a, b) {
+		panic(fmt.Sprintf("autograd: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

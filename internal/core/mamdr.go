@@ -1,0 +1,263 @@
+// Package core implements the MAMDR paper's primary contribution: the
+// Domain Negotiation (DN) and Domain Regularization (DR) strategies and
+// the unified MAMDR learning framework (Algorithms 1-3).
+//
+// MAMDR maintains a shared parameter vector θ_S and one specific vector
+// θ_i per domain; the model serves domain i with Θ = θ_S + θ_i (Eq. 4).
+// DN optimizes θ_S with a two-loop schedule whose outer update
+// Θ ← Θ + β(Θ̃_{n+1} − Θ) implicitly maximizes cross-domain gradient
+// inner products (Section IV-C), mitigating domain conflict in O(n).
+// DR optimizes each θ_i with a fixed-order lookahead through a sampled
+// helper domain followed by the target domain, extracting only helpful
+// cross-domain information and fighting overfitting on sparse domains.
+//
+// Everything here manipulates models exclusively through Forward and
+// Parameters — the framework is agnostic to the model structure.
+package core
+
+import (
+	"math/rand"
+
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/optim"
+	"mamdr/internal/paramvec"
+)
+
+func init() {
+	framework.Register("dn", func() framework.Framework {
+		return &MAMDR{UseDN: true}
+	})
+	framework.Register("dr", func() framework.Framework {
+		return &MAMDR{UseDR: true}
+	})
+	framework.Register("mamdr", func() framework.Framework {
+		return &MAMDR{UseDN: true, UseDR: true}
+	})
+}
+
+// MAMDR is the unified learning framework (Algorithm 3). The UseDN and
+// UseDR switches select the paper's ablations:
+//
+//   - UseDN && UseDR — full MAMDR;
+//   - UseDN only     — "w/o DR": Domain Negotiation for the shared
+//     parameters, no specific parameters;
+//   - UseDR only     — "w/o DN": the shared parameters fall back to
+//     Alternate training, the specific parameters still use DR;
+//   - neither        — "w/o DN+DR": plain Alternate training.
+type MAMDR struct {
+	UseDN bool
+	UseDR bool
+}
+
+// Name implements framework.Framework.
+func (t *MAMDR) Name() string {
+	switch {
+	case t.UseDN && t.UseDR:
+		return "MAMDR (DN+DR)"
+	case t.UseDN:
+		return "DN"
+	case t.UseDR:
+		return "DR"
+	default:
+		return "Alternate"
+	}
+}
+
+// State is the trained MAMDR parameter state: the shared vector and one
+// specific delta per domain. It doubles as the serving-time predictor.
+type State struct {
+	Model    models.Model
+	Shared   paramvec.Vector
+	Specific []paramvec.Vector
+}
+
+// ComposedFor returns θ_S + θ_i, the serving parameters of domain i
+// (Eq. 4).
+func (s *State) ComposedFor(domain int) paramvec.Vector {
+	out := s.Shared.Clone()
+	paramvec.Axpy(out, 1, s.Specific[domain])
+	return out
+}
+
+// Predict implements framework.Predictor: it serves each batch with the
+// parameters composed for the batch's domain, restoring the model's
+// parameters afterwards.
+func (s *State) Predict(b *data.Batch) []float64 {
+	params := s.Model.Parameters()
+	saved := paramvec.Snapshot(params)
+	paramvec.Restore(params, s.ComposedFor(b.Domain))
+	probs := framework.SigmoidAll(s.Model.Forward(b, false))
+	paramvec.Restore(params, saved)
+	return probs
+}
+
+// AddDomain appends a zero-initialized specific vector for a newly
+// registered domain, mirroring the platform's "new domains only add
+// specific parameters" property.
+func (s *State) AddDomain() int {
+	s.Specific = append(s.Specific, s.Shared.Zero())
+	return len(s.Specific) - 1
+}
+
+// Fit implements framework.Framework (Algorithm 3): every epoch first
+// updates θ_S with DN (Algorithm 1), then updates every θ_i with DR
+// (Algorithm 2).
+func (t *MAMDR) Fit(m models.Model, ds *data.Dataset, cfg framework.Config) framework.Predictor {
+	cfg = cfg.WithDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	params := m.Parameters()
+
+	st := &State{
+		Model:  m,
+		Shared: paramvec.Snapshot(params),
+	}
+	for range ds.Domains {
+		st.AddDomain()
+	}
+
+	outer := optim.New(cfg.OuterOpt, cfg.OuterLR)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if t.UseDN {
+			DomainNegotiationEpoch(st, ds, cfg, outer, rng)
+		} else {
+			alternateEpoch(st, ds, cfg, rng)
+		}
+		if t.UseDR {
+			for i := range ds.Domains {
+				DomainRegularization(st, ds, i, cfg, rng)
+			}
+		}
+	}
+	paramvec.Restore(params, st.Shared)
+	return st
+}
+
+// DomainNegotiationEpoch runs one outer-loop iteration of Algorithm 1 on
+// the shared parameters: Θ̃_1 ← Θ; sequential inner-loop training over
+// all domains in random order; outer update Θ ← Θ + β(Θ̃_{n+1} − Θ).
+//
+// The outer update is expressed as a gradient −(Θ̃_{n+1} − Θ) fed to the
+// outer optimizer, so the inner and outer loops can use independently
+// chosen optimizers (SGD inside + Adagrad outside in the paper's
+// industrial configuration). With plain SGD outside, the step is exactly
+// Eq. 3 with β = the outer optimizer's learning rate.
+func DomainNegotiationEpoch(st *State, ds *data.Dataset, cfg framework.Config, outer optim.Optimizer, rng *rand.Rand) {
+	DomainNegotiationEpochOpt(st, ds, cfg, outer, rng, false)
+}
+
+// DomainNegotiationEpochOpt is DomainNegotiationEpoch with an ablation
+// switch: fixedOrder visits domains in id order every epoch instead of
+// reshuffling. The Section IV-C symmetrization argument (Eq. 19-21)
+// requires the shuffle, so fixed order is expected to negotiate worse —
+// BenchmarkDNOrderAblation measures the gap.
+func DomainNegotiationEpochOpt(st *State, ds *data.Dataset, cfg framework.Config, outer optim.Optimizer, rng *rand.Rand, fixedOrder bool) {
+	params := st.Model.Parameters()
+	paramvec.Restore(params, st.Shared)
+
+	order := rng.Perm(ds.NumDomains())
+	if fixedOrder {
+		for i := range order {
+			order[i] = i
+		}
+	}
+	inner := optim.New(cfg.InnerOpt, cfg.LR)
+	for _, d := range order {
+		framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+	}
+	endpoint := paramvec.Snapshot(params)
+
+	// Treat -(endpoint - shared) as the outer gradient at Θ.
+	paramvec.Restore(params, st.Shared)
+	for i, p := range params {
+		for j := range p.Data {
+			p.Grad[j] = st.Shared[i][j] - endpoint[i][j]
+		}
+	}
+	outer.Step(params)
+	st.Shared = paramvec.Snapshot(params)
+}
+
+// alternateEpoch trains the shared parameters with conventional
+// alternate training (the "w/o DN" ablation and the β=1 degenerate case
+// discussed in Section IV-C).
+func alternateEpoch(st *State, ds *data.Dataset, cfg framework.Config, rng *rand.Rand) {
+	params := st.Model.Parameters()
+	paramvec.Restore(params, st.Shared)
+	inner := optim.New(cfg.InnerOpt, cfg.LR)
+	for _, d := range rng.Perm(ds.NumDomains()) {
+		framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+	}
+	st.Shared = paramvec.Snapshot(params)
+}
+
+// DomainRegularization runs Algorithm 2 for one target domain i: sample
+// k helper domains; for each helper j, start from θ_i, take inner steps
+// on T_j, then on T_i (the fixed order that regularizes domain-j
+// information toward the target), and move θ_i toward the endpoint with
+// learning rate γ (Eq. 8). Updates run in the composed space
+// Θ = θ_S + θ_i with θ_S held fixed.
+func DomainRegularization(st *State, ds *data.Dataset, target int, cfg framework.Config, rng *rand.Rand) {
+	DomainRegularizationOpt(st, ds, target, cfg, rng, DROptions{})
+}
+
+// DROptions selects Domain Regularization ablations used by the design-
+// choice benchmarks; the zero value is the paper's Algorithm 2.
+type DROptions struct {
+	// SkipTargetStep omits the final update on the target domain
+	// (Eq. 7), degrading DR to naive cross-domain transfer.
+	SkipTargetStep bool
+	// ReverseOrder updates on the target domain before the helper,
+	// breaking the fixed order the Section IV-C analysis relies on.
+	ReverseOrder bool
+}
+
+// DomainRegularizationOpt is DomainRegularization with explicit ablation
+// options.
+func DomainRegularizationOpt(st *State, ds *data.Dataset, target int, cfg framework.Config, rng *rand.Rand, opts DROptions) {
+	params := st.Model.Parameters()
+	helpers := SampleHelpers(ds.NumDomains(), target, cfg.SampleK, rng)
+
+	for _, j := range helpers {
+		// θ̃_i ← θ_i (working in composed coordinates Θ = θ_S + θ_i).
+		composed := st.ComposedFor(target)
+		paramvec.Restore(params, composed)
+
+		inner := optim.New(cfg.InnerOpt, cfg.LR)
+		// Update on helper domain j, then on the target domain i.
+		first, second := j, target
+		if opts.ReverseOrder {
+			first, second = target, j
+		}
+		framework.TrainDomainPass(st.Model, ds, first, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		if !opts.SkipTargetStep {
+			framework.TrainDomainPass(st.Model, ds, second, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		}
+
+		// θ_i ← θ_i + γ(θ̃_i − θ_i); in composed coordinates the
+		// difference of endpoints equals the difference of specifics.
+		endpoint := paramvec.Snapshot(params)
+		paramvec.Axpy(st.Specific[target], cfg.DRLR, paramvec.Sub(endpoint, composed))
+	}
+}
+
+// SampleHelpers draws k distinct helper domains excluding the target
+// (all others when k >= n-1). With a single domain it returns the target
+// itself so DR degrades gracefully to per-domain finetuning.
+func SampleHelpers(n, target, k int, rng *rand.Rand) []int {
+	if n == 1 {
+		return []int{target}
+	}
+	pool := make([]int, 0, n-1)
+	for d := 0; d < n; d++ {
+		if d != target {
+			pool = append(pool, d)
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if k < len(pool) {
+		pool = pool[:k]
+	}
+	return pool
+}

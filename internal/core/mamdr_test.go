@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/paramvec"
+	"mamdr/internal/synth"
+)
+
+func testDataset(t testing.TB, conflict float64) *data.Dataset {
+	t.Helper()
+	return synth.Generate(synth.Config{
+		Name: "core-test", Seed: 33, ConflictStrength: conflict,
+		Domains: []synth.DomainSpec{
+			{Name: "a", Samples: 700, CTRRatio: 0.3},
+			{Name: "b", Samples: 500, CTRRatio: 0.4},
+			{Name: "c", Samples: 300, CTRRatio: 0.25},
+			{Name: "sparse", Samples: 60, CTRRatio: 0.3},
+		},
+	})
+}
+
+func testModel(t testing.TB, ds *data.Dataset) models.Model {
+	t.Helper()
+	return models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{16, 8}, Seed: 5})
+}
+
+func TestMAMDRVariantsRegistered(t *testing.T) {
+	for _, key := range []string{"dn", "dr", "mamdr"} {
+		if _, err := framework.New(key); err != nil {
+			t.Fatalf("New(%s): %v", key, err)
+		}
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	cases := map[string]string{
+		"dn":    "DN",
+		"dr":    "DR",
+		"mamdr": "MAMDR (DN+DR)",
+	}
+	for key, want := range cases {
+		if got := framework.MustNew(key).Name(); got != want {
+			t.Fatalf("%s.Name() = %q, want %q", key, got, want)
+		}
+	}
+	if (&MAMDR{}).Name() != "Alternate" {
+		t.Fatal("no-DN-no-DR variant should be named Alternate")
+	}
+}
+
+func TestMAMDRBeatsChance(t *testing.T) {
+	ds := testDataset(t, 0.8)
+	for _, key := range []string{"dn", "dr", "mamdr"} {
+		m := testModel(t, ds)
+		pred := framework.MustNew(key).Fit(m, ds, framework.Config{Epochs: 5, BatchSize: 32, Seed: 9})
+		auc := framework.MeanAUC(pred, ds, data.Test)
+		if auc < 0.55 {
+			t.Fatalf("%s: test AUC %.4f, want > 0.55", key, auc)
+		}
+	}
+}
+
+func TestMAMDRReturnsState(t *testing.T) {
+	ds := testDataset(t, 0.8)
+	m := testModel(t, ds)
+	pred := framework.MustNew("mamdr").Fit(m, ds, framework.Config{Epochs: 2, BatchSize: 32, Seed: 9})
+	st, ok := pred.(*State)
+	if !ok {
+		t.Fatalf("Fit returned %T, want *State", pred)
+	}
+	if len(st.Specific) != ds.NumDomains() {
+		t.Fatalf("specific vectors = %d, want %d", len(st.Specific), ds.NumDomains())
+	}
+	// With DR enabled, specific parameters must have moved off zero.
+	var moved bool
+	for _, v := range st.Specific {
+		if paramvec.Norm(v) > 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("DR never updated any specific parameters")
+	}
+}
+
+func TestDNOnlyKeepsSpecificsZero(t *testing.T) {
+	ds := testDataset(t, 0.8)
+	m := testModel(t, ds)
+	st := framework.MustNew("dn").Fit(m, ds, framework.Config{Epochs: 2, BatchSize: 32, Seed: 9}).(*State)
+	for d, v := range st.Specific {
+		if paramvec.Norm(v) != 0 {
+			t.Fatalf("w/o DR variant moved specific params of domain %d", d)
+		}
+	}
+}
+
+func TestComposedForIsSharedPlusSpecific(t *testing.T) {
+	ds := testDataset(t, 0.5)
+	m := testModel(t, ds)
+	st := &State{Model: m, Shared: paramvec.Snapshot(m.Parameters())}
+	st.AddDomain()
+	st.AddDomain()
+	paramvec.Axpy(st.Specific[1], 1, paramvec.Scale(st.Shared, 0.5))
+	c0 := st.ComposedFor(0)
+	c1 := st.ComposedFor(1)
+	for i := range c0 {
+		for j := range c0[i] {
+			if c0[i][j] != st.Shared[i][j] {
+				t.Fatal("domain 0 composition should equal shared")
+			}
+			want := st.Shared[i][j] * 1.5
+			if math.Abs(c1[i][j]-want) > 1e-12 {
+				t.Fatal("domain 1 composition wrong")
+			}
+		}
+	}
+}
+
+func TestStatePredictRestoresParams(t *testing.T) {
+	ds := testDataset(t, 0.5)
+	m := testModel(t, ds)
+	st := framework.MustNew("mamdr").Fit(m, ds, framework.Config{Epochs: 1, BatchSize: 32, Seed: 9}).(*State)
+	params := m.Parameters()
+	before := paramvec.Snapshot(params)
+	_ = st.Predict(ds.FullBatch(2, data.Test))
+	after := paramvec.Snapshot(params)
+	if paramvec.Norm(paramvec.Sub(after, before)) != 0 {
+		t.Fatal("Predict did not restore model parameters")
+	}
+}
+
+func TestStatePredictUsesDomainSpecifics(t *testing.T) {
+	ds := testDataset(t, 0.5)
+	m := testModel(t, ds)
+	st := &State{Model: m, Shared: paramvec.Snapshot(m.Parameters())}
+	for range ds.Domains {
+		st.AddDomain()
+	}
+	// Give domain 1 a large specific delta; its predictions must differ
+	// from domain 0's on identical inputs.
+	paramvec.Axpy(st.Specific[1], 2, st.Shared)
+	b0 := ds.FullBatch(0, data.Test)
+	b1 := *b0
+	b1.Domain = 1
+	p0 := st.Predict(b0)
+	p1 := st.Predict(&b1)
+	var diff float64
+	for i := range p0 {
+		diff += math.Abs(p0[i] - p1[i])
+	}
+	if diff == 0 {
+		t.Fatal("specific parameters had no serving effect")
+	}
+}
+
+func TestAddDomainGrowsZeroVector(t *testing.T) {
+	ds := testDataset(t, 0.5)
+	m := testModel(t, ds)
+	st := &State{Model: m, Shared: paramvec.Snapshot(m.Parameters())}
+	id := st.AddDomain()
+	if id != 0 || len(st.Specific) != 1 {
+		t.Fatal("AddDomain bookkeeping wrong")
+	}
+	if paramvec.Norm(st.Specific[0]) != 0 {
+		t.Fatal("new domain's specific vector must start at zero")
+	}
+	if st.Specific[0].Len() != st.Shared.Len() {
+		t.Fatal("specific vector shape mismatch")
+	}
+}
+
+func TestSampleHelpersProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		target := rng.Intn(n)
+		k := 1 + rng.Intn(n)
+		hs := SampleHelpers(n, target, k, rng)
+		if len(hs) == 0 {
+			t.Fatal("no helpers sampled")
+		}
+		if len(hs) > k {
+			t.Fatalf("sampled %d helpers, want <= %d", len(hs), k)
+		}
+		seen := map[int]bool{}
+		for _, h := range hs {
+			if h == target {
+				t.Fatal("helper equals target")
+			}
+			if h < 0 || h >= n {
+				t.Fatal("helper out of range")
+			}
+			if seen[h] {
+				t.Fatal("duplicate helper")
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestSampleHelpersSingleDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hs := SampleHelpers(1, 0, 3, rng)
+	if len(hs) != 1 || hs[0] != 0 {
+		t.Fatalf("single-domain fallback = %v, want [0]", hs)
+	}
+}
+
+func TestMAMDRDeterministicWithSeed(t *testing.T) {
+	ds := testDataset(t, 0.8)
+	run := func() []float64 {
+		m := testModel(t, ds)
+		pred := framework.MustNew("mamdr").Fit(m, ds, framework.Config{Epochs: 2, BatchSize: 32, Seed: 123})
+		return framework.EvaluateAUC(pred, ds, data.Test)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different MAMDR results")
+		}
+	}
+}
+
+// TestMAMDRImprovesOverAlternate is the repository's miniature of the
+// paper's headline claim (Table V): under domain conflict, MLP+MAMDR
+// outperforms alternate-trained MLP on mean test AUC.
+func TestMAMDRImprovesOverAlternate(t *testing.T) {
+	ds := testDataset(t, 1.2)
+	cfg := framework.Config{Epochs: 6, BatchSize: 32, Seed: 9}
+
+	alt := framework.MustNew("alternate").Fit(testModel(t, ds), ds, cfg)
+	altAUC := framework.MeanAUC(alt, ds, data.Test)
+
+	mam := framework.MustNew("mamdr").Fit(testModel(t, ds), ds, cfg)
+	mamAUC := framework.MeanAUC(mam, ds, data.Test)
+
+	t.Logf("alternate AUC = %.4f, MAMDR AUC = %.4f", altAUC, mamAUC)
+	if mamAUC <= altAUC-0.01 {
+		t.Fatalf("MAMDR (%.4f) should not lose to Alternate (%.4f)", mamAUC, altAUC)
+	}
+}

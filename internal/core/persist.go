@@ -1,0 +1,79 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"mamdr/internal/paramvec"
+)
+
+// Checkpoint is the serializable form of a trained MAMDR state: the
+// shared parameter vector and every domain's specific vector. The model
+// structure itself is rebuilt from configuration by the caller (the
+// vectors align with Model.Parameters() order, which is stable for a
+// given structure and dataset schema).
+type Checkpoint struct {
+	// ModelName records the structure the state was trained with, as a
+	// guard against loading into a mismatched model.
+	ModelName string
+	Shared    paramvec.Vector
+	Specific  []paramvec.Vector
+}
+
+// Save writes the state's parameters to path with encoding/gob.
+func (s *State) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", path, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	ck := Checkpoint{
+		ModelName: s.Model.Name(),
+		Shared:    s.Shared,
+		Specific:  s.Specific,
+	}
+	if err := gob.NewEncoder(w).Encode(ck); err != nil {
+		return fmt.Errorf("core: encode %s: %w", path, err)
+	}
+	return w.Flush()
+}
+
+// Load reads a checkpoint saved by Save into the state, validating that
+// the vectors align with the state's model parameters. The state's
+// Model must already be constructed with the same structure and dataset
+// schema as at save time.
+func (s *State) Load(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&ck); err != nil {
+		return fmt.Errorf("core: decode %s: %w", path, err)
+	}
+	if ck.ModelName != s.Model.Name() {
+		return fmt.Errorf("core: checkpoint is for model %q, state has %q", ck.ModelName, s.Model.Name())
+	}
+	params := s.Model.Parameters()
+	if len(ck.Shared) != len(params) {
+		return fmt.Errorf("core: checkpoint has %d shared segments, model has %d tensors", len(ck.Shared), len(params))
+	}
+	for i, p := range params {
+		if len(ck.Shared[i]) != len(p.Data) {
+			return fmt.Errorf("core: shared segment %d has %d values, tensor has %d", i, len(ck.Shared[i]), len(p.Data))
+		}
+	}
+	for d, v := range ck.Specific {
+		if len(v) != len(params) {
+			return fmt.Errorf("core: specific vector %d misaligned", d)
+		}
+	}
+	s.Shared = ck.Shared
+	s.Specific = ck.Specific
+	paramvec.Restore(params, s.Shared)
+	return nil
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := testDataset(t, 0.8)
+	m := testModel(t, ds)
+	st := framework.MustNew("mamdr").Fit(m, ds, framework.Config{Epochs: 2, BatchSize: 32, Seed: 9}).(*State)
+
+	// Reference predictions before saving.
+	b := ds.FullBatch(1, data.Test)
+	want := st.Predict(b)
+
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a freshly built state over a fresh model.
+	m2 := testModel(t, ds)
+	st2 := &State{Model: m2}
+	if err := st2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	got := st2.Predict(b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("prediction %d differs after reload: %g vs %g", i, got[i], want[i])
+		}
+	}
+	if len(st2.Specific) != ds.NumDomains() {
+		t.Fatalf("specific vectors lost: %d", len(st2.Specific))
+	}
+}
+
+func TestLoadRejectsWrongModel(t *testing.T) {
+	ds := testDataset(t, 0.5)
+	m := testModel(t, ds)
+	st := framework.MustNew("dn").Fit(m, ds, framework.Config{Epochs: 1, BatchSize: 32, Seed: 9}).(*State)
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	other := &State{Model: models.MustNew("wdl", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{16, 8}, Seed: 5})}
+	if err := other.Load(path); err == nil {
+		t.Fatal("expected model-name mismatch error")
+	}
+}
+
+func TestLoadRejectsMissingFile(t *testing.T) {
+	ds := testDataset(t, 0.5)
+	st := &State{Model: testModel(t, ds)}
+	if err := st.Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("expected error")
+	}
+}

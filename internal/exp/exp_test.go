@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// All plumbing tests run at Tiny scale: they verify table structure,
+// registry wiring and determinism, not result orderings (those are
+// asserted in the core/framework tests and recorded in EXPERIMENTS.md).
+
+func TestTableIStructure(t *testing.T) {
+	tab := TableI(Tiny)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Table I rows = %d, want 6 datasets", len(tab.Rows))
+	}
+	if len(tab.Header) != 8 {
+		t.Fatalf("Table I header = %v", tab.Header)
+	}
+	for _, r := range tab.Rows {
+		if len(r) != len(tab.Header) {
+			t.Fatalf("row %v does not match header", r)
+		}
+	}
+}
+
+func TestTableII_IVStructure(t *testing.T) {
+	tabs := TableII_IV(Tiny)
+	if len(tabs) != 3 {
+		t.Fatalf("got %d tables, want 3", len(tabs))
+	}
+	wantRows := []int{6, 13, 30}
+	for i, tab := range tabs {
+		if len(tab.Rows) != wantRows[i] {
+			t.Fatalf("%s rows = %d, want %d", tab.ID, len(tab.Rows), wantRows[i])
+		}
+	}
+}
+
+func TestTableVStructure(t *testing.T) {
+	tab := TableV(Tiny)
+	if len(tab.Rows) != len(tableVMethods) {
+		t.Fatalf("rows = %d, want %d methods", len(tab.Rows), len(tableVMethods))
+	}
+	// Header: Method + 2 columns per dataset.
+	if len(tab.Header) != 1+2*5 {
+		t.Fatalf("header = %v", tab.Header)
+	}
+	for _, r := range tab.Rows {
+		for _, cell := range r[1:] {
+			if cell == "" || cell == "NaN" {
+				t.Fatalf("empty/NaN cell in %v", r)
+			}
+		}
+	}
+}
+
+func TestTableVIAndVIIStructure(t *testing.T) {
+	vi := TableVI(Tiny)
+	if len(vi.Rows) != 4 || len(vi.Header) != 6 {
+		t.Fatalf("Table VI shape: %d rows, header %v", len(vi.Rows), vi.Header)
+	}
+	vii := TableVII(Tiny)
+	if len(vii.Rows) != 4 || len(vii.Header) != 7 {
+		t.Fatalf("Table VII shape: %d rows, header %v", len(vii.Rows), vii.Header)
+	}
+}
+
+func TestTableVIIIAndIXStructure(t *testing.T) {
+	viii := TableVIII(Tiny)
+	if len(viii.Rows) != len(tableVIIIMethods) {
+		t.Fatalf("Table VIII rows = %d", len(viii.Rows))
+	}
+	ix := TableIX(Tiny)
+	if len(ix.Rows) != len(tableVIIIMethods) {
+		t.Fatalf("Table IX rows = %d", len(ix.Rows))
+	}
+	if len(ix.Header) != 1+6 { // Tiny has 6 industry domains
+		t.Fatalf("Table IX header = %v", ix.Header)
+	}
+}
+
+func TestTableXStructure(t *testing.T) {
+	tab := TableX(Tiny)
+	if len(tab.Rows) != len(tableXModels) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Header) != 1+len(tableXFrameworks) {
+		t.Fatalf("header = %v", tab.Header)
+	}
+}
+
+func TestFiguresStructure(t *testing.T) {
+	f8 := Figure8(Tiny)
+	if len(f8.Rows) != 5 {
+		t.Fatalf("Figure 8 rows = %d, want 5 k values", len(f8.Rows))
+	}
+	f9 := Figure9(Tiny)
+	if len(f9.Rows) != 3 || len(f9.Header) != 5 {
+		t.Fatalf("Figure 9 shape: %d rows, header %v", len(f9.Rows), f9.Header)
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, f := range []func(Scale) *Table{AblationDNOrder, AblationDROrder, AblationCache, GradientConflictDiagnostic} {
+		tab := f(Tiny)
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", tab.ID)
+		}
+	}
+}
+
+func TestConflictScalingStructure(t *testing.T) {
+	tab := ConflictScaling(Tiny)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tab := &Table{
+		ID: "T", Title: "demo",
+		Header: []string{"A", "B"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note"},
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### T — demo", "| A | B |", "| --- | --- |", "| 1 | 2 |", "> note"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestRegistryRunsEverything(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order lists %d ids, registry has %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if _, ok := Registry[id]; !ok {
+			t.Fatalf("Order references unknown id %q", id)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("tablezzz", Tiny); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunKnown(t *testing.T) {
+	tabs, err := Run("table1", Tiny)
+	if err != nil || len(tabs) != 1 {
+		t.Fatalf("Run(table1) = %v, %v", tabs, err)
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	a := TableVI(Tiny).Markdown()
+	b := TableVI(Tiny).Markdown()
+	if a != b {
+		t.Fatal("Table VI not deterministic across runs")
+	}
+}

@@ -1,0 +1,60 @@
+package framework
+
+import (
+	"math/rand"
+
+	"mamdr/internal/autograd"
+	"mamdr/internal/data"
+	"mamdr/internal/models"
+	"mamdr/internal/optim"
+)
+
+func init() {
+	Register("weighted", func() Framework { return WeightedLoss{} })
+}
+
+// WeightedLoss is homoscedastic-uncertainty loss weighting (Kendall et
+// al., 2018) applied to MDR: each domain d owns a learned log-variance
+// s_d, and its batches are trained with
+//
+//	loss = exp(-s_d) * BCE + s_d,
+//
+// so the balance between domains is optimized jointly with the model.
+type WeightedLoss struct{}
+
+// Name implements Framework.
+func (WeightedLoss) Name() string { return "Weighted Loss" }
+
+// Fit implements Framework.
+func (WeightedLoss) Fit(m models.Model, ds *data.Dataset, cfg Config) Predictor {
+	cfg = cfg.WithDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := optim.New(cfg.InnerOpt, cfg.LR)
+
+	logVars := make([]*autograd.Tensor, ds.NumDomains())
+	for d := range logVars {
+		logVars[d] = autograd.ParamZeros(1, 1)
+	}
+	params := m.Parameters()
+	all := append(append([]*autograd.Tensor(nil), params...), logVars...)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, d := range shuffledDomains(ds.NumDomains(), rng) {
+			batches := ds.Batches(d, data.Train, cfg.BatchSize, rng)
+			if cfg.MaxBatchesPerDomain > 0 && len(batches) > cfg.MaxBatchesPerDomain {
+				batches = batches[:cfg.MaxBatchesPerDomain]
+			}
+			for _, b := range batches {
+				for _, p := range all {
+					p.ZeroGrad()
+				}
+				bce := autograd.BCEWithLogits(m.Forward(b, true), b.Labels)
+				precision := autograd.Exp(autograd.Scale(logVars[d], -1))
+				loss := autograd.Add(autograd.Mul(precision, bce), logVars[d])
+				loss.Backward()
+				opt.Step(all)
+			}
+		}
+	}
+	return NewModelPredictor(m)
+}

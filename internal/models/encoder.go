@@ -1,0 +1,86 @@
+package models
+
+import (
+	"math/rand"
+
+	"mamdr/internal/autograd"
+	"mamdr/internal/data"
+	"mamdr/internal/nn"
+)
+
+// Encoder turns a batch into per-field embedding tensors. It hides the
+// difference between the two benchmark regimes:
+//
+//   - learned mode (Amazon): one trainable embedding table per
+//     categorical field, randomly initialized and optimized during
+//     training;
+//   - fixed mode (Taobao): the user and item are represented by frozen
+//     dense feature vectors (pretrained GraphSage features in the paper),
+//     exposed as two fields.
+type Encoder struct {
+	ds     *data.Dataset
+	embDim int
+	// learned mode
+	fieldEmbs []*nn.Embedding
+	// fixed mode
+	userEmb, itemEmb *nn.Embedding
+}
+
+// NewEncoder builds the encoder appropriate for the dataset.
+func NewEncoder(ds *data.Dataset, embDim int, rng *rand.Rand) *Encoder {
+	e := &Encoder{ds: ds, embDim: embDim}
+	if ds.HasFixedFeatures() {
+		e.userEmb = nn.NewFrozenEmbedding(ds.FixedUserVecs)
+		e.itemEmb = nn.NewFrozenEmbedding(ds.FixedItemVecs)
+		return e
+	}
+	for _, f := range ds.Schema.Fields() {
+		e.fieldEmbs = append(e.fieldEmbs, nn.NewEmbedding(f.Vocab, embDim, 0.05, rng))
+	}
+	return e
+}
+
+// Fields returns one batch x FieldDim tensor per field.
+func (e *Encoder) Fields(b *data.Batch) []*autograd.Tensor {
+	if e.ds.HasFixedFeatures() {
+		return []*autograd.Tensor{e.userEmb.Lookup(b.Users), e.itemEmb.Lookup(b.Items)}
+	}
+	out := make([]*autograd.Tensor, len(e.fieldEmbs))
+	for f, emb := range e.fieldEmbs {
+		out[f] = emb.Lookup(b.FieldValues[f])
+	}
+	return out
+}
+
+// Concat returns the batch's fields concatenated into batch x InputDim.
+func (e *Encoder) Concat(b *data.Batch) *autograd.Tensor {
+	return autograd.ConcatCols(e.Fields(b)...)
+}
+
+// NumFields returns the number of fields produced by Fields.
+func (e *Encoder) NumFields() int {
+	if e.ds.HasFixedFeatures() {
+		return 2
+	}
+	return len(e.fieldEmbs)
+}
+
+// FieldDim returns the width of each field tensor.
+func (e *Encoder) FieldDim() int {
+	if e.ds.HasFixedFeatures() {
+		return e.userEmb.Dim()
+	}
+	return e.embDim
+}
+
+// InputDim returns NumFields * FieldDim, the width of Concat's output.
+func (e *Encoder) InputDim() int { return e.NumFields() * e.FieldDim() }
+
+// Parameters implements nn.Module; frozen tables contribute nothing.
+func (e *Encoder) Parameters() []*autograd.Tensor {
+	var ps []*autograd.Tensor
+	for _, emb := range e.fieldEmbs {
+		ps = append(ps, emb.Parameters()...)
+	}
+	return ps
+}

@@ -1,0 +1,118 @@
+// Package models implements the CTR model structures evaluated in the
+// MAMDR paper: the single-domain baselines (MLP, WDL, NeurFM, AutoInt,
+// DeepFM), the multi-task/multi-domain baselines (Shared-Bottom, MMoE,
+// CGC, PLE, STAR), and the compact production-style RAW model used in
+// the industry experiments.
+//
+// Every model implements the small Model interface; learning frameworks
+// interact with models exclusively through it, which is what makes the
+// MAMDR framework model agnostic.
+package models
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mamdr/internal/autograd"
+	"mamdr/internal/data"
+)
+
+// Model is a trainable CTR predictor over multi-domain batches.
+type Model interface {
+	// Forward computes one logit per sample (Nx1). Multi-domain
+	// structures route by b.Domain; single-domain structures ignore it.
+	// training toggles dropout.
+	Forward(b *data.Batch, training bool) *autograd.Tensor
+	// Parameters returns the trainable tensors in a stable order.
+	Parameters() []*autograd.Tensor
+	// Name returns the structure's name (e.g. "MLP", "STAR").
+	Name() string
+}
+
+// Config carries everything needed to build any model structure.
+type Config struct {
+	Dataset *data.Dataset
+	// EmbDim is the per-field embedding size for learned-embedding
+	// datasets (ignored when the dataset has fixed features).
+	EmbDim int
+	// Hidden lists the hidden-layer widths of MLP towers.
+	Hidden []int
+	// Dropout is the inverted-dropout rate between hidden layers.
+	Dropout float64
+	// Experts is the expert count for MMoE/CGC/PLE.
+	Experts int
+	// Heads and HeadDim configure AutoInt's attention.
+	Heads, HeadDim int
+	// Seed drives parameter initialization.
+	Seed int64
+}
+
+// withDefaults fills zero fields with benchmark-scale defaults (the
+// paper's widths, scaled down to the synthetic benchmark sizes).
+func (c Config) withDefaults() Config {
+	if c.EmbDim == 0 {
+		c.EmbDim = 8
+	}
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 32}
+	}
+	if c.Experts == 0 {
+		c.Experts = 2
+	}
+	if c.Heads == 0 {
+		c.Heads = 2
+	}
+	if c.HeadDim == 0 {
+		c.HeadDim = 8
+	}
+	return c
+}
+
+// Builder constructs a model from a config.
+type Builder func(Config) Model
+
+var registry = map[string]Builder{}
+
+// Register adds a builder under a canonical name. It panics on
+// duplicates; model files register themselves in init functions.
+func Register(name string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic("models: duplicate registration of " + name)
+	}
+	registry[name] = b
+}
+
+// New builds the named model. Valid names are listed by Names.
+func New(name string, cfg Config) (Model, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown model %q (have %v)", name, Names())
+	}
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("models: config for %q has no dataset", name)
+	}
+	return b(cfg.withDefaults()), nil
+}
+
+// MustNew is New for static names; it panics on error.
+func MustNew(name string, cfg Config) Model {
+	m, err := New(name, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names lists registered model names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rngFor derives a model-local RNG from the config seed.
+func rngFor(cfg Config) *rand.Rand { return rand.New(rand.NewSource(cfg.Seed + 1)) }

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"mamdr/internal/autograd"
+)
+
+// InteractingLayer is AutoInt's multi-head self-attention over feature
+// fields. Each field embedding attends to every field (including itself)
+// and the head outputs are concatenated and combined with a residual
+// projection:
+//
+//	out_i = ReLU( concat_h( Σ_j softmax_j(<Q_i^h, K_j^h>/√d_h) · V_j^h ) + X_i W_res )
+//
+// The layer keeps per-field width Heads*HeadDim, so layers can be
+// stacked.
+type InteractingLayer struct {
+	Heads   int
+	HeadDim int
+	WQ, WK  *autograd.Tensor // In x Heads*HeadDim
+	WV      *autograd.Tensor // In x Heads*HeadDim
+	WRes    *autograd.Tensor // In x Heads*HeadDim
+}
+
+// NewInteractingLayer builds an interacting layer mapping field width
+// `in` to heads*headDim.
+func NewInteractingLayer(in, heads, headDim int, rng *rand.Rand) *InteractingLayer {
+	out := heads * headDim
+	return &InteractingLayer{
+		Heads:   heads,
+		HeadDim: headDim,
+		WQ:      autograd.ParamXavier(in, out, rng),
+		WK:      autograd.ParamXavier(in, out, rng),
+		WV:      autograd.ParamXavier(in, out, rng),
+		WRes:    autograd.ParamXavier(in, out, rng),
+	}
+}
+
+// Forward applies self-attention across the given field tensors (each
+// batch x In) and returns one batch x Heads*HeadDim tensor per field.
+func (l *InteractingLayer) Forward(fields []*autograd.Tensor) []*autograd.Tensor {
+	f := len(fields)
+	qs := make([]*autograd.Tensor, f)
+	ks := make([]*autograd.Tensor, f)
+	vs := make([]*autograd.Tensor, f)
+	res := make([]*autograd.Tensor, f)
+	for i, x := range fields {
+		qs[i] = autograd.MatMul(x, l.WQ)
+		ks[i] = autograd.MatMul(x, l.WK)
+		vs[i] = autograd.MatMul(x, l.WV)
+		res[i] = autograd.MatMul(x, l.WRes)
+	}
+	invSqrt := 1 / math.Sqrt(float64(l.HeadDim))
+	out := make([]*autograd.Tensor, f)
+	for i := 0; i < f; i++ {
+		headOuts := make([]*autograd.Tensor, 0, l.Heads)
+		for h := 0; h < l.Heads; h++ {
+			lo, hi := h*l.HeadDim, (h+1)*l.HeadDim
+			qi := autograd.SliceCols(qs[i], lo, hi)
+			scores := make([]*autograd.Tensor, f)
+			for j := 0; j < f; j++ {
+				kj := autograd.SliceCols(ks[j], lo, hi)
+				scores[j] = autograd.Scale(autograd.RowDot(qi, kj), invSqrt)
+			}
+			attn := autograd.SoftmaxRows(autograd.ConcatCols(scores...))
+			var acc *autograd.Tensor
+			for j := 0; j < f; j++ {
+				w := autograd.SliceCols(attn, j, j+1)
+				term := autograd.MulColBroadcast(autograd.SliceCols(vs[j], lo, hi), w)
+				if acc == nil {
+					acc = term
+				} else {
+					acc = autograd.Add(acc, term)
+				}
+			}
+			headOuts = append(headOuts, acc)
+		}
+		combined := autograd.ConcatCols(headOuts...)
+		out[i] = autograd.ReLU(autograd.Add(combined, res[i]))
+	}
+	return out
+}
+
+// OutDim returns the per-field output width.
+func (l *InteractingLayer) OutDim() int { return l.Heads * l.HeadDim }
+
+// Parameters implements Module.
+func (l *InteractingLayer) Parameters() []*autograd.Tensor {
+	return []*autograd.Tensor{l.WQ, l.WK, l.WV, l.WRes}
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mamdr/internal/autograd"
+)
+
+// Activation names a pointwise nonlinearity applied after a dense layer.
+type Activation int
+
+// Supported activations.
+const (
+	Linear Activation = iota
+	ReLU
+	Sigmoid
+	Tanh
+	LeakyReLU
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Linear:
+		return "linear"
+	case ReLU:
+		return "relu"
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case LeakyReLU:
+		return "leaky_relu"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func applyActivation(a Activation, x *autograd.Tensor) *autograd.Tensor {
+	switch a {
+	case Linear:
+		return x
+	case ReLU:
+		return autograd.ReLU(x)
+	case Sigmoid:
+		return autograd.Sigmoid(x)
+	case Tanh:
+		return autograd.Tanh(x)
+	case LeakyReLU:
+		return autograd.LeakyReLU(x, 0.01)
+	default:
+		panic("nn: unknown activation " + a.String())
+	}
+}
+
+// Dense is a fully connected layer: y = act(xW + b).
+type Dense struct {
+	W   *autograd.Tensor // In x Out
+	B   *autograd.Tensor // 1 x Out
+	Act Activation
+}
+
+// NewDense builds a dense layer with Xavier-initialized weights and zero
+// bias.
+func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
+	return &Dense{
+		W:   autograd.ParamXavier(in, out, rng),
+		B:   autograd.ParamZeros(1, out),
+		Act: act,
+	}
+}
+
+// Forward applies the layer to an NxIn batch, producing NxOut.
+func (d *Dense) Forward(x *autograd.Tensor) *autograd.Tensor {
+	return applyActivation(d.Act, autograd.AddRowVector(autograd.MatMul(x, d.W), d.B))
+}
+
+// Parameters implements Module.
+func (d *Dense) Parameters() []*autograd.Tensor {
+	return []*autograd.Tensor{d.W, d.B}
+}
+
+// In returns the layer's input width.
+func (d *Dense) In() int { return d.W.Rows }
+
+// Out returns the layer's output width.
+func (d *Dense) Out() int { return d.W.Cols }
+
+// MLP is a stack of dense layers with a shared hidden activation and
+// optional inverted dropout between hidden layers. The final layer is
+// linear unless OutAct is set.
+type MLP struct {
+	Layers  []*Dense
+	Dropout float64
+	OutAct  Activation
+}
+
+// NewMLP builds an MLP with the given layer widths; dims includes the
+// input width, e.g. dims = [in, 256, 128, 64, 1]. Hidden layers use act;
+// the output layer is linear.
+func NewMLP(dims []int, act Activation, dropout float64, rng *rand.Rand) *MLP {
+	if len(dims) < 2 {
+		panic("nn: NewMLP needs at least [in, out] dims")
+	}
+	m := &MLP{Dropout: dropout, OutAct: Linear}
+	for i := 0; i+1 < len(dims); i++ {
+		a := act
+		if i+2 == len(dims) {
+			a = Linear
+		}
+		m.Layers = append(m.Layers, NewDense(dims[i], dims[i+1], a, rng))
+	}
+	return m
+}
+
+// Forward applies the network. When training is true, dropout is active
+// and rng must be non-nil if Dropout > 0.
+func (m *MLP) Forward(x *autograd.Tensor, training bool, rng *rand.Rand) *autograd.Tensor {
+	h := x
+	for i, l := range m.Layers {
+		h = l.Forward(h)
+		if i+1 < len(m.Layers) && m.Dropout > 0 {
+			h = autograd.Dropout(h, m.Dropout, training, rng)
+		}
+	}
+	return applyActivation(m.OutAct, h)
+}
+
+// Parameters implements Module.
+func (m *MLP) Parameters() []*autograd.Tensor {
+	var ps []*autograd.Tensor
+	for _, l := range m.Layers {
+		ps = append(ps, l.Parameters()...)
+	}
+	return ps
+}
+
+// OutDim returns the width of the final layer.
+func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out() }

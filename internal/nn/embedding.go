@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mamdr/internal/autograd"
+)
+
+// Embedding maps categorical ids to dense vectors via a VxD table.
+// A frozen embedding (fixed features, as in the Taobao benchmarks where
+// features come from a pretrained GraphSage) does not receive gradients.
+type Embedding struct {
+	Table  *autograd.Tensor
+	frozen bool
+}
+
+// NewEmbedding builds a trainable embedding table with small random
+// initialization (uniform in [-scale, scale]).
+func NewEmbedding(vocab, dim int, scale float64, rng *rand.Rand) *Embedding {
+	return &Embedding{Table: autograd.ParamRand(vocab, dim, scale, rng)}
+}
+
+// NewFrozenEmbedding wraps externally provided feature vectors as a
+// non-trainable lookup table. vectors[i] becomes row i; all rows must
+// have equal length.
+func NewFrozenEmbedding(vectors [][]float64) *Embedding {
+	if len(vectors) == 0 {
+		panic("nn: NewFrozenEmbedding with no vectors")
+	}
+	dim := len(vectors[0])
+	data := make([]float64, len(vectors)*dim)
+	for i, v := range vectors {
+		if len(v) != dim {
+			panic(fmt.Sprintf("nn: feature row %d has dim %d, want %d", i, len(v), dim))
+		}
+		copy(data[i*dim:(i+1)*dim], v)
+	}
+	return &Embedding{Table: autograd.New(len(vectors), dim, data), frozen: true}
+}
+
+// Lookup gathers the rows for ids, producing len(ids) x D.
+func (e *Embedding) Lookup(ids []int) *autograd.Tensor {
+	return autograd.Gather(e.Table, ids)
+}
+
+// Dim returns the embedding dimension.
+func (e *Embedding) Dim() int { return e.Table.Cols }
+
+// Vocab returns the number of rows in the table.
+func (e *Embedding) Vocab() int { return e.Table.Rows }
+
+// Frozen reports whether the table is excluded from training.
+func (e *Embedding) Frozen() bool { return e.frozen }
+
+// Parameters implements Module; frozen embeddings expose no parameters.
+func (e *Embedding) Parameters() []*autograd.Tensor {
+	if e.frozen {
+		return nil
+	}
+	return []*autograd.Tensor{e.Table}
+}

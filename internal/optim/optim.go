@@ -1,0 +1,213 @@
+// Package optim implements the gradient-descent optimizers used by the
+// MAMDR learning frameworks: SGD (with optional momentum), Adam, and
+// Adagrad. Inner and outer loops of Domain Negotiation can use different
+// optimizers (the paper's industrial configuration uses SGD inside and
+// Adagrad outside), so optimizers keep per-tensor state keyed by
+// parameter identity and can be Reset when the parameter set they track
+// is rebound.
+package optim
+
+import (
+	"math"
+
+	"mamdr/internal/autograd"
+)
+
+// Optimizer updates parameters in place from their accumulated
+// gradients. Implementations keep internal state (momentum, adaptive
+// moments) per parameter tensor.
+type Optimizer interface {
+	// Step applies one update to every parameter using its Grad buffer.
+	// Gradients are not cleared; callers zero them between steps.
+	Step(params []*autograd.Tensor)
+	// SetLR changes the learning rate for subsequent steps.
+	SetLR(lr float64)
+	// LR returns the current learning rate.
+	LR() float64
+	// Reset drops all accumulated optimizer state.
+	Reset()
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	lr       float64
+	Momentum float64
+	velocity map[*autograd.Tensor][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and no
+// momentum.
+func NewSGD(lr float64) *SGD { return &SGD{lr: lr} }
+
+// NewSGDMomentum returns an SGD optimizer with classical momentum.
+func NewSGDMomentum(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*autograd.Tensor) {
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		if s.Momentum == 0 {
+			for i, g := range p.Grad {
+				p.Data[i] -= s.lr * g
+			}
+			continue
+		}
+		if s.velocity == nil {
+			s.velocity = map[*autograd.Tensor][]float64{}
+		}
+		v := s.velocity[p]
+		if v == nil {
+			v = make([]float64, len(p.Data))
+			s.velocity[p] = v
+		}
+		for i, g := range p.Grad {
+			v[i] = s.Momentum*v[i] + g
+			p.Data[i] -= s.lr * v[i]
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR implements Optimizer.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Reset implements Optimizer.
+func (s *SGD) Reset() { s.velocity = nil }
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	lr           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	step         int
+	m, v         map[*autograd.Tensor][]float64
+}
+
+// NewAdam returns Adam with the standard defaults beta1=0.9, beta2=0.999,
+// eps=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{lr: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*autograd.Tensor) {
+	if a.m == nil {
+		a.m = map[*autograd.Tensor][]float64{}
+		a.v = map[*autograd.Tensor][]float64{}
+	}
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = make([]float64, len(p.Data))
+			v = make([]float64, len(p.Data))
+			a.m[p] = m
+			a.v[p] = v
+		}
+		for i, g := range p.Grad {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / c1
+			vh := v[i] / c2
+			p.Data[i] -= a.lr * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adam) LR() float64 { return a.lr }
+
+// Reset implements Optimizer.
+func (a *Adam) Reset() { a.m, a.v, a.step = nil, nil, 0 }
+
+// Adagrad implements the Adagrad optimizer (Duchi et al., 2011), used by
+// the paper's industrial outer loop.
+type Adagrad struct {
+	lr  float64
+	Eps float64
+	g2  map[*autograd.Tensor][]float64
+}
+
+// NewAdagrad returns Adagrad with eps=1e-8.
+func NewAdagrad(lr float64) *Adagrad { return &Adagrad{lr: lr, Eps: 1e-8} }
+
+// Step implements Optimizer.
+func (a *Adagrad) Step(params []*autograd.Tensor) {
+	if a.g2 == nil {
+		a.g2 = map[*autograd.Tensor][]float64{}
+	}
+	for _, p := range params {
+		if p.Grad == nil {
+			continue
+		}
+		s := a.g2[p]
+		if s == nil {
+			s = make([]float64, len(p.Data))
+			a.g2[p] = s
+		}
+		for i, g := range p.Grad {
+			s[i] += g * g
+			p.Data[i] -= a.lr * g / (math.Sqrt(s[i]) + a.Eps)
+		}
+	}
+}
+
+// SetLR implements Optimizer.
+func (a *Adagrad) SetLR(lr float64) { a.lr = lr }
+
+// LR implements Optimizer.
+func (a *Adagrad) LR() float64 { return a.lr }
+
+// Reset implements Optimizer.
+func (a *Adagrad) Reset() { a.g2 = nil }
+
+// ClipGradNorm scales all gradients down so their global L2 norm does not
+// exceed maxNorm. It returns the pre-clip norm.
+func ClipGradNorm(params []*autograd.Tensor, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad {
+				p.Grad[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// New builds an optimizer by name ("sgd", "adam", "adagrad"); it panics
+// on an unknown name. It is the registry used by command-line tools.
+func New(name string, lr float64) Optimizer {
+	switch name {
+	case "sgd":
+		return NewSGD(lr)
+	case "adam":
+		return NewAdam(lr)
+	case "adagrad":
+		return NewAdagrad(lr)
+	default:
+		panic("optim: unknown optimizer " + name)
+	}
+}

@@ -1,0 +1,177 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mamdr/internal/autograd"
+)
+
+// quadratic builds loss = sum((x - target)^2); its minimum is x=target.
+func quadratic(x *autograd.Tensor, target []float64) *autograd.Tensor {
+	tt := autograd.New(x.Rows, x.Cols, append([]float64(nil), target...))
+	return autograd.Sum(autograd.Square(autograd.Sub(x, tt)))
+}
+
+func converges(t *testing.T, opt Optimizer, steps int, tol float64) {
+	t.Helper()
+	x := autograd.Param(1, 3, []float64{5, -4, 2})
+	target := []float64{1, 2, -3}
+	for s := 0; s < steps; s++ {
+		x.ZeroGrad()
+		quadratic(x, target).Backward()
+		opt.Step([]*autograd.Tensor{x})
+	}
+	for i, w := range target {
+		if math.Abs(x.Data[i]-w) > tol {
+			t.Fatalf("entry %d: got %g, want %g", i, x.Data[i], w)
+		}
+	}
+}
+
+func TestSGDConverges(t *testing.T)         { converges(t, NewSGD(0.1), 200, 1e-6) }
+func TestSGDMomentumConverges(t *testing.T) { converges(t, NewSGDMomentum(0.05, 0.9), 300, 1e-4) }
+func TestAdamConverges(t *testing.T)        { converges(t, NewAdam(0.1), 600, 1e-3) }
+func TestAdagradConverges(t *testing.T)     { converges(t, NewAdagrad(1.0), 500, 1e-3) }
+
+func TestSGDSingleStepExactUpdate(t *testing.T) {
+	x := autograd.Param(1, 2, []float64{1, 2})
+	x.Grad[0], x.Grad[1] = 0.5, -1
+	NewSGD(0.1).Step([]*autograd.Tensor{x})
+	if math.Abs(x.Data[0]-0.95) > 1e-12 || math.Abs(x.Data[1]-2.1) > 1e-12 {
+		t.Fatalf("SGD step produced %v", x.Data)
+	}
+}
+
+func TestOptimizerSkipsNilGrad(t *testing.T) {
+	x := autograd.New(1, 2, []float64{1, 2}) // no grad buffer
+	for _, opt := range []Optimizer{NewSGD(0.1), NewAdam(0.1), NewAdagrad(0.1)} {
+		opt.Step([]*autograd.Tensor{x})
+		if x.Data[0] != 1 || x.Data[1] != 2 {
+			t.Fatal("optimizer modified a gradient-free tensor")
+		}
+	}
+}
+
+func TestSetLR(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1), NewAdam(0.1), NewAdagrad(0.1)} {
+		opt.SetLR(0.42)
+		if opt.LR() != 0.42 {
+			t.Fatalf("%T LR = %g, want 0.42", opt, opt.LR())
+		}
+	}
+}
+
+func TestAdamBiasCorrectionFirstStep(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ~lr
+	// regardless of gradient scale.
+	x := autograd.Param(1, 1, []float64{0})
+	x.Grad[0] = 1e-4
+	a := NewAdam(0.01)
+	a.Step([]*autograd.Tensor{x})
+	if math.Abs(math.Abs(x.Data[0])-0.01) > 1e-3 {
+		t.Fatalf("first Adam step = %g, want ~0.01", x.Data[0])
+	}
+}
+
+func TestAdagradMonotonicallyShrinksSteps(t *testing.T) {
+	x := autograd.Param(1, 1, []float64{0})
+	a := NewAdagrad(1.0)
+	var prevStep float64 = math.Inf(1)
+	for i := 0; i < 5; i++ {
+		before := x.Data[0]
+		x.ZeroGrad()
+		x.Grad[0] = 1
+		a.Step([]*autograd.Tensor{x})
+		step := math.Abs(x.Data[0] - before)
+		if step > prevStep+1e-12 {
+			t.Fatalf("step %d grew: %g > %g", i, step, prevStep)
+		}
+		prevStep = step
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	x := autograd.Param(1, 1, []float64{0})
+	a := NewAdam(0.1)
+	x.Grad[0] = 1
+	a.Step([]*autograd.Tensor{x})
+	a.Reset()
+	if a.m != nil || a.step != 0 {
+		t.Fatal("Adam Reset did not clear state")
+	}
+	s := NewSGDMomentum(0.1, 0.9)
+	x.Grad[0] = 1
+	s.Step([]*autograd.Tensor{x})
+	s.Reset()
+	if s.velocity != nil {
+		t.Fatal("SGD Reset did not clear velocity")
+	}
+	g := NewAdagrad(0.1)
+	x.Grad[0] = 1
+	g.Step([]*autograd.Tensor{x})
+	g.Reset()
+	if g.g2 != nil {
+		t.Fatal("Adagrad Reset did not clear accumulator")
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	x := autograd.Param(1, 2, []float64{0, 0})
+	x.Grad[0], x.Grad[1] = 3, 4 // norm 5
+	pre := ClipGradNorm([]*autograd.Tensor{x}, 1)
+	if math.Abs(pre-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %g, want 5", pre)
+	}
+	norm := math.Hypot(x.Grad[0], x.Grad[1])
+	if math.Abs(norm-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %g, want 1", norm)
+	}
+}
+
+func TestClipGradNormNoOpBelowMax(t *testing.T) {
+	x := autograd.Param(1, 2, []float64{0, 0})
+	x.Grad[0], x.Grad[1] = 0.3, 0.4
+	ClipGradNorm([]*autograd.Tensor{x}, 10)
+	if x.Grad[0] != 0.3 || x.Grad[1] != 0.4 {
+		t.Fatal("clip modified gradients below threshold")
+	}
+}
+
+func TestNewRegistry(t *testing.T) {
+	if _, ok := New("sgd", 0.1).(*SGD); !ok {
+		t.Fatal("New(sgd) wrong type")
+	}
+	if _, ok := New("adam", 0.1).(*Adam); !ok {
+		t.Fatal("New(adam) wrong type")
+	}
+	if _, ok := New("adagrad", 0.1).(*Adagrad); !ok {
+		t.Fatal("New(adagrad) wrong type")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown optimizer")
+		}
+	}()
+	New("lbfgs", 0.1)
+}
+
+func TestOptimizersOnNoisyProblemStayFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, opt := range []Optimizer{NewSGD(0.01), NewAdam(0.01), NewAdagrad(0.1)} {
+		x := autograd.Param(1, 4, []float64{1, -1, 2, -2})
+		for s := 0; s < 100; s++ {
+			x.ZeroGrad()
+			for i := range x.Grad {
+				x.Grad[i] = rng.NormFloat64() * 10
+			}
+			opt.Step([]*autograd.Tensor{x})
+		}
+		for _, v := range x.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%T produced non-finite parameter", opt)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package optim
+
+import "math"
+
+// Schedule maps a zero-based epoch index to a learning rate. The
+// paper's industrial configuration drives its Adagrad outer loop with a
+// dynamic rate in [0.1, 1]; schedules make that reproducible.
+type Schedule interface {
+	// At returns the learning rate for the given epoch.
+	At(epoch int) float64
+}
+
+// Constant is a fixed learning rate.
+type Constant float64
+
+// At implements Schedule.
+func (c Constant) At(int) float64 { return float64(c) }
+
+// LinearRange interpolates linearly from From to To over Epochs steps,
+// then stays at To. It reproduces the paper's "dynamical learning rate
+// ranging from 0.1 to 1" when configured as LinearRange{From: 1, To:
+// 0.1, Epochs: N} (large early steps, fine late steps).
+type LinearRange struct {
+	From, To float64
+	Epochs   int
+}
+
+// At implements Schedule.
+func (l LinearRange) At(epoch int) float64 {
+	if l.Epochs <= 1 || epoch >= l.Epochs {
+		return l.To
+	}
+	if epoch < 0 {
+		return l.From
+	}
+	frac := float64(epoch) / float64(l.Epochs-1)
+	return l.From + (l.To-l.From)*frac
+}
+
+// ExponentialDecay multiplies the base rate by Decay^epoch, optionally
+// bounded below by Floor.
+type ExponentialDecay struct {
+	Base  float64
+	Decay float64
+	Floor float64
+}
+
+// At implements Schedule.
+func (e ExponentialDecay) At(epoch int) float64 {
+	lr := e.Base * math.Pow(e.Decay, float64(epoch))
+	if lr < e.Floor {
+		return e.Floor
+	}
+	return lr
+}
+
+// Scheduled wraps an optimizer so each Advance applies the schedule's
+// next rate.
+type Scheduled struct {
+	Optimizer
+	Schedule Schedule
+	epoch    int
+}
+
+// NewScheduled binds a schedule to an optimizer, setting the epoch-0
+// rate immediately.
+func NewScheduled(opt Optimizer, s Schedule) *Scheduled {
+	opt.SetLR(s.At(0))
+	return &Scheduled{Optimizer: opt, Schedule: s}
+}
+
+// Advance moves to the next epoch's learning rate and returns it.
+func (s *Scheduled) Advance() float64 {
+	s.epoch++
+	lr := s.Schedule.At(s.epoch)
+	s.SetLR(lr)
+	return lr
+}
+
+// Epoch returns the current epoch index.
+func (s *Scheduled) Epoch() int { return s.epoch }

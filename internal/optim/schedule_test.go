@@ -1,0 +1,80 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantSchedule(t *testing.T) {
+	s := Constant(0.3)
+	for _, e := range []int{0, 5, 100} {
+		if s.At(e) != 0.3 {
+			t.Fatalf("Constant.At(%d) = %g", e, s.At(e))
+		}
+	}
+}
+
+func TestLinearRangeEndpoints(t *testing.T) {
+	s := LinearRange{From: 1, To: 0.1, Epochs: 10}
+	if s.At(0) != 1 {
+		t.Fatalf("At(0) = %g, want 1", s.At(0))
+	}
+	if math.Abs(s.At(9)-0.1) > 1e-12 {
+		t.Fatalf("At(9) = %g, want 0.1", s.At(9))
+	}
+	if s.At(100) != 0.1 {
+		t.Fatalf("At(100) = %g, want 0.1 (clamped)", s.At(100))
+	}
+	if s.At(-1) != 1 {
+		t.Fatalf("At(-1) = %g, want 1 (clamped)", s.At(-1))
+	}
+}
+
+func TestLinearRangeMonotone(t *testing.T) {
+	s := LinearRange{From: 1, To: 0.1, Epochs: 20}
+	prev := math.Inf(1)
+	for e := 0; e < 25; e++ {
+		lr := s.At(e)
+		if lr > prev+1e-15 {
+			t.Fatalf("schedule increased at epoch %d", e)
+		}
+		if lr < 0.1-1e-15 || lr > 1+1e-15 {
+			t.Fatalf("rate %g outside [0.1, 1]", lr)
+		}
+		prev = lr
+	}
+}
+
+func TestLinearRangeDegenerate(t *testing.T) {
+	s := LinearRange{From: 1, To: 0.5, Epochs: 1}
+	if s.At(0) != 0.5 {
+		t.Fatalf("single-epoch schedule should return To, got %g", s.At(0))
+	}
+}
+
+func TestExponentialDecay(t *testing.T) {
+	s := ExponentialDecay{Base: 1, Decay: 0.5, Floor: 0.1}
+	if s.At(0) != 1 || s.At(1) != 0.5 || s.At(2) != 0.25 {
+		t.Fatalf("decay wrong: %g %g %g", s.At(0), s.At(1), s.At(2))
+	}
+	if s.At(10) != 0.1 {
+		t.Fatalf("floor not applied: %g", s.At(10))
+	}
+}
+
+func TestScheduledAdvance(t *testing.T) {
+	opt := NewSGD(99) // overwritten by the schedule
+	sch := NewScheduled(opt, LinearRange{From: 1, To: 0, Epochs: 3})
+	if opt.LR() != 1 {
+		t.Fatalf("epoch-0 rate not applied: %g", opt.LR())
+	}
+	if lr := sch.Advance(); lr != 0.5 || opt.LR() != 0.5 {
+		t.Fatalf("epoch-1 rate = %g / %g, want 0.5", lr, opt.LR())
+	}
+	if lr := sch.Advance(); lr != 0 {
+		t.Fatalf("epoch-2 rate = %g, want 0", lr)
+	}
+	if sch.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", sch.Epoch())
+	}
+}

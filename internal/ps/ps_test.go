@@ -1,0 +1,262 @@
+package ps
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"mamdr/internal/autograd"
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/synth"
+)
+
+func testDataset(t testing.TB) *data.Dataset {
+	t.Helper()
+	return synth.Generate(synth.Config{
+		Name: "ps-test", Seed: 51, ConflictStrength: 0.8,
+		Domains: []synth.DomainSpec{
+			{Name: "a", Samples: 500, CTRRatio: 0.3},
+			{Name: "b", Samples: 400, CTRRatio: 0.4},
+			{Name: "c", Samples: 300, CTRRatio: 0.25},
+			{Name: "d", Samples: 200, CTRRatio: 0.35},
+		},
+	})
+}
+
+func replicaFactory(ds *data.Dataset) func() models.Model {
+	return func() models.Model {
+		return models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{16, 8}, Seed: 5})
+	}
+}
+
+func TestLayoutOf(t *testing.T) {
+	params := []*autograd.Tensor{
+		autograd.ParamZeros(500, 4), // embedding-like
+		autograd.ParamZeros(10, 8),  // dense
+		autograd.ParamZeros(1, 8),   // dense
+	}
+	l := LayoutOf(params, 64)
+	if !l.Embedding[0] || l.Embedding[1] || l.Embedding[2] {
+		t.Fatalf("embedding flags = %v", l.Embedding)
+	}
+	if l.NumTensors() != 3 || l.Rows[0] != 500 || l.Cols[0] != 4 {
+		t.Fatal("layout shapes wrong")
+	}
+}
+
+func TestServerPullDenseExcludesEmbeddings(t *testing.T) {
+	params := []*autograd.Tensor{
+		autograd.ParamZeros(500, 4),
+		autograd.Param(2, 2, []float64{1, 2, 3, 4}),
+	}
+	s := NewServer(params, 64, 2, "sgd", 1)
+	dense := s.PullDense()
+	if _, has := dense[0]; has {
+		t.Fatal("embedding tensor returned by PullDense")
+	}
+	if dense[1][3] != 4 {
+		t.Fatal("dense values wrong")
+	}
+}
+
+func TestServerPullRowsLatestValues(t *testing.T) {
+	params := []*autograd.Tensor{autograd.ParamZeros(100, 2)}
+	s := NewServer(params, 64, 1, "sgd", 1)
+	s.PushDelta(Delta{
+		Rows:      map[int][]int{0: {7}},
+		RowDeltas: map[int][][]float64{0: {{1.5, -2}}},
+	})
+	rows := s.PullRows(0, []int{7, 8})
+	if rows[0][0] != 1.5 || rows[0][1] != -2 {
+		t.Fatalf("row 7 = %v, want [1.5 -2]", rows[0])
+	}
+	if rows[1][0] != 0 {
+		t.Fatal("row 8 should be untouched")
+	}
+}
+
+func TestServerPullRowsOnDensePanics(t *testing.T) {
+	s := NewServer([]*autograd.Tensor{autograd.ParamZeros(2, 2)}, 64, 1, "sgd", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.PullRows(0, []int{0})
+}
+
+func TestServerOuterUpdateAppliesBeta(t *testing.T) {
+	params := []*autograd.Tensor{autograd.Param(1, 2, []float64{0, 0})}
+	s := NewServer(params, 64, 1, "sgd", 0.5)
+	s.PushDelta(Delta{Dense: map[int][]float64{0: {2, -4}}})
+	snap := s.Snapshot()
+	// Eq. 3: θ += β * delta = 0.5 * [2, -4].
+	if snap[0][0] != 1 || snap[0][1] != -2 {
+		t.Fatalf("snapshot = %v, want [1 -2]", snap[0])
+	}
+}
+
+func TestServerAdagradStatePersistsAcrossPushes(t *testing.T) {
+	params := []*autograd.Tensor{autograd.Param(1, 1, []float64{0})}
+	s := NewServer(params, 64, 1, "adagrad", 1)
+	s.PushDelta(Delta{Dense: map[int][]float64{0: {1}}})
+	v1 := s.Snapshot()[0][0]
+	s.PushDelta(Delta{Dense: map[int][]float64{0: {1}}})
+	v2 := s.Snapshot()[0][0] - v1
+	if v2 >= v1 {
+		t.Fatalf("second adagrad step (%g) should be smaller than first (%g)", v2, v1)
+	}
+}
+
+func TestCountersTally(t *testing.T) {
+	params := []*autograd.Tensor{autograd.ParamZeros(100, 2), autograd.ParamZeros(1, 3)}
+	s := NewServer(params, 64, 1, "sgd", 1)
+	s.PullDense()
+	s.PullRows(0, []int{1, 2, 3})
+	s.PushDelta(Delta{Dense: map[int][]float64{1: {0, 0, 0}}})
+	c := s.Counters()
+	if c.DensePulls != 1 || c.RowPulls != 3 || c.DensePushes != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.FloatsMoved != 3+6+3 {
+		t.Fatalf("floats moved = %d, want 12", c.FloatsMoved)
+	}
+}
+
+func TestDistributedTrainingLearns(t *testing.T) {
+	ds := testDataset(t)
+	res := Train(replicaFactory(ds), ds, Options{
+		Workers: 2, Epochs: 20, Seed: 9, CacheEnabled: true, EmbRowThreshold: 40,
+	})
+	auc := framework.MeanAUC(res.State, ds, data.Test)
+	if auc < 0.55 {
+		t.Fatalf("distributed DN test AUC = %.4f, want > 0.55", auc)
+	}
+	if res.Counters.DensePushes == 0 || res.Counters.RowPulls == 0 {
+		t.Fatalf("no PS traffic recorded: %+v", res.Counters)
+	}
+}
+
+func TestDistributedWithDRPopulatesSpecifics(t *testing.T) {
+	ds := testDataset(t)
+	res := Train(replicaFactory(ds), ds, Options{
+		Workers: 2, Epochs: 3, Seed: 9, CacheEnabled: true, UseDR: true,
+	})
+	if len(res.State.Specific) != ds.NumDomains() {
+		t.Fatalf("specifics = %d, want %d", len(res.State.Specific), ds.NumDomains())
+	}
+	var moved int
+	for _, v := range res.State.Specific {
+		var norm float64
+		for i := range v {
+			for j := range v[i] {
+				norm += v[i][j] * v[i][j]
+			}
+		}
+		if norm > 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("DR phase left all specific parameters at zero")
+	}
+}
+
+func TestCacheReducesSyncOverhead(t *testing.T) {
+	ds := testDataset(t)
+	opts := Options{Workers: 2, Epochs: 2, Seed: 9, EmbRowThreshold: 40}
+
+	optsOn := opts
+	optsOn.CacheEnabled = true
+	withCache := Train(replicaFactory(ds), ds, optsOn)
+
+	optsOff := opts
+	optsOff.CacheEnabled = false
+	withoutCache := Train(replicaFactory(ds), ds, optsOff)
+
+	on := withCache.Counters.FloatsMoved
+	off := withoutCache.Counters.FloatsMoved
+	t.Logf("floats moved: cache=%d naive=%d (%.1fx)", on, off, float64(off)/float64(on))
+	if on >= off {
+		t.Fatalf("embedding cache did not reduce traffic: %d vs %d", on, off)
+	}
+}
+
+func TestWorkerCountCappedByDomains(t *testing.T) {
+	ds := testDataset(t)
+	res := Train(replicaFactory(ds), ds, Options{Workers: 32, Epochs: 1, Seed: 9, CacheEnabled: true})
+	if res.State == nil {
+		t.Fatal("training failed with more workers than domains")
+	}
+}
+
+func TestConcurrentPushesAreSafe(t *testing.T) {
+	params := []*autograd.Tensor{autograd.ParamZeros(200, 4), autograd.ParamZeros(4, 4)}
+	s := NewServer(params, 64, 2, "sgd", 0.1)
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 50; i++ {
+				s.PullDense()
+				s.PullRows(0, []int{rng.Intn(200)})
+				s.PushDelta(Delta{
+					Dense:     map[int][]float64{1: make([]float64, 16)},
+					Rows:      map[int][]int{0: {rng.Intn(200)}},
+					RowDeltas: map[int][][]float64{0: {{0.1, 0.1, 0.1, 0.1}}},
+				})
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	c := s.Counters()
+	if c.DensePushes != 400 || c.RowPushes != 400 {
+		t.Fatalf("lost pushes: %+v", c)
+	}
+}
+
+func TestRPCTransportEndToEnd(t *testing.T) {
+	ds := testDataset(t)
+	factory := replicaFactory(ds)
+	serving := factory()
+	server := NewServer(serving.Parameters(), 64, 2, "adagrad", 0.5)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go Serve(server, lis)
+
+	client, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if client.Layout().NumTensors() != len(serving.Parameters()) {
+		t.Fatal("layout mismatch over RPC")
+	}
+
+	res := TrainWithStore(factory, serving, client, client, ds, Options{
+		Workers: 2, Epochs: 3, Seed: 9, CacheEnabled: true,
+	})
+	auc := framework.MeanAUC(res.State, ds, data.Test)
+	if auc < 0.52 {
+		t.Fatalf("RPC-trained AUC = %.4f, want > 0.52", auc)
+	}
+	if res.Counters.DensePushes == 0 {
+		t.Fatal("no pushes recorded through RPC")
+	}
+}
+
+func TestRPCDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("expected dial error")
+	}
+}

@@ -1,0 +1,135 @@
+package ps
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+)
+
+// The RPC transport lets workers talk to a parameter server across a
+// real socket via net/rpc + gob, demonstrating that the protocol in
+// worker.go is architecture-level: the same Worker code drives an
+// in-process Server and a remote one.
+
+// RPCService adapts a Server to net/rpc's method signature conventions.
+type RPCService struct {
+	server *Server
+}
+
+// PullRowsArgs carries a PullRows request.
+type PullRowsArgs struct {
+	Tensor int
+	Rows   []int
+}
+
+// Nothing is an empty argument/reply placeholder.
+type Nothing struct{}
+
+// Layout returns the server's tensor layout.
+func (s *RPCService) Layout(_ Nothing, reply *Layout) error {
+	*reply = s.server.Layout()
+	return nil
+}
+
+// PullDense returns all dense tensors.
+func (s *RPCService) PullDense(_ Nothing, reply *map[int][]float64) error {
+	*reply = s.server.PullDense()
+	return nil
+}
+
+// PullRows returns the requested embedding rows.
+func (s *RPCService) PullRows(args PullRowsArgs, reply *[][]float64) error {
+	*reply = s.server.PullRows(args.Tensor, args.Rows)
+	return nil
+}
+
+// PushDelta applies a worker's outer-loop delta.
+func (s *RPCService) PushDelta(d Delta, _ *Nothing) error {
+	s.server.PushDelta(d)
+	return nil
+}
+
+// Counters returns the traffic counters.
+func (s *RPCService) Counters(_ Nothing, reply *Counters) error {
+	*reply = s.server.Counters()
+	return nil
+}
+
+// Serve registers the server on a fresh rpc.Server and services the
+// listener until it is closed. It is intended to run in its own
+// goroutine; accept errors after Close are swallowed.
+func Serve(server *Server, lis net.Listener) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("PS", &RPCService{server: server}); err != nil {
+		panic(fmt.Sprintf("ps: rpc register: %v", err))
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// Client is a Store backed by a remote parameter server.
+type Client struct {
+	c      *rpc.Client
+	layout Layout
+}
+
+var _ Store = (*Client)(nil)
+
+// Dial connects to a parameter server at addr and fetches its layout.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ps: dial %s: %w", addr, err)
+	}
+	cl := &Client{c: c}
+	if err := c.Call("PS.Layout", Nothing{}, &cl.layout); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("ps: fetch layout: %w", err)
+	}
+	return cl, nil
+}
+
+// Close releases the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// Layout implements Store.
+func (cl *Client) Layout() Layout { return cl.layout }
+
+// PullDense implements Store.
+func (cl *Client) PullDense() map[int][]float64 {
+	var reply map[int][]float64
+	if err := cl.c.Call("PS.PullDense", Nothing{}, &reply); err != nil {
+		panic(fmt.Sprintf("ps: PullDense: %v", err))
+	}
+	return reply
+}
+
+// PullRows implements Store.
+func (cl *Client) PullRows(tensor int, rows []int) [][]float64 {
+	var reply [][]float64
+	if err := cl.c.Call("PS.PullRows", PullRowsArgs{Tensor: tensor, Rows: rows}, &reply); err != nil {
+		panic(fmt.Sprintf("ps: PullRows: %v", err))
+	}
+	return reply
+}
+
+// PushDelta implements Store.
+func (cl *Client) PushDelta(d Delta) {
+	if err := cl.c.Call("PS.PushDelta", d, &Nothing{}); err != nil {
+		panic(fmt.Sprintf("ps: PushDelta: %v", err))
+	}
+}
+
+// Counters implements Store.
+func (cl *Client) Counters() Counters {
+	var reply Counters
+	if err := cl.c.Call("PS.Counters", Nothing{}, &reply); err != nil {
+		panic(fmt.Sprintf("ps: Counters: %v", err))
+	}
+	return reply
+}

@@ -1,0 +1,233 @@
+// Package ps implements the paper's large-scale PS-Worker architecture
+// (Section IV-E): sharded parameter servers storing the model, workers
+// computing MAMDR's inner loops locally, and the embedding PS-Worker
+// cache (static-cache + dynamic-cache) that reduces synchronization
+// overhead and staleness for large sparse embedding tables.
+//
+// The in-process Server and the net/rpc transport expose the same Store
+// interface, so the worker code is identical whether the parameter
+// server lives in the same process (tests, benchmarks) or across a real
+// socket (examples/distributed).
+package ps
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"mamdr/internal/autograd"
+	"mamdr/internal/optim"
+	"mamdr/internal/paramvec"
+)
+
+// Layout describes the parameter tensors managed by a server: their
+// shapes and which of them are treated as sparse embedding tables
+// (synchronized row-wise) versus dense tensors (synchronized whole).
+type Layout struct {
+	Rows, Cols []int
+	Embedding  []bool
+}
+
+// LayoutOf derives a layout from model parameters: any tensor with at
+// least embRowThreshold rows is synchronized row-wise as an embedding
+// table.
+func LayoutOf(params []*autograd.Tensor, embRowThreshold int) Layout {
+	l := Layout{
+		Rows:      make([]int, len(params)),
+		Cols:      make([]int, len(params)),
+		Embedding: make([]bool, len(params)),
+	}
+	for i, p := range params {
+		l.Rows[i] = p.Rows
+		l.Cols[i] = p.Cols
+		l.Embedding[i] = p.Rows >= embRowThreshold
+	}
+	return l
+}
+
+// NumTensors returns the number of managed tensors.
+func (l Layout) NumTensors() int { return len(l.Rows) }
+
+// Counters tallies parameter-server traffic; FloatsMoved is the
+// synchronization-overhead metric reported by the cache experiments.
+type Counters struct {
+	DensePulls  int64
+	DensePushes int64
+	RowPulls    int64
+	RowPushes   int64
+	FloatsMoved int64
+}
+
+// Store is the worker-side view of a parameter server.
+type Store interface {
+	// Layout returns the managed tensor layout.
+	Layout() Layout
+	// PullDense returns the current values of all dense (non-embedding)
+	// tensors, keyed by tensor index.
+	PullDense() map[int][]float64
+	// PullRows returns the latest values of the requested embedding rows.
+	PullRows(tensor int, rows []int) [][]float64
+	// PushDelta applies an outer update (Eq. 3): for dense tensors the
+	// full delta Θ̃−Θ, for embeddings only the touched rows' deltas. The
+	// server feeds -(delta) to its outer optimizer.
+	PushDelta(d Delta)
+	// Counters returns a snapshot of the traffic counters.
+	Counters() Counters
+}
+
+// Delta is one worker's outer-loop contribution.
+type Delta struct {
+	// Dense maps tensor index to a full-tensor delta.
+	Dense map[int][]float64
+	// Rows and RowDeltas map tensor index to the touched embedding rows
+	// and their per-row deltas.
+	Rows      map[int][]int
+	RowDeltas map[int][][]float64
+}
+
+// Server is the in-process parameter server. Tensors are partitioned
+// into shards, each guarded by its own mutex, so pushes from different
+// workers proceed concurrently exactly as in a multi-machine PS
+// deployment (the paper uses 40 parameter servers).
+type Server struct {
+	layout Layout
+	shards []*shard
+	// shardOf[t] locates tensor t's shard.
+	shardOf []int
+
+	counters struct {
+		densePulls, densePushes, rowPulls, rowPushes, floats int64
+	}
+}
+
+type shard struct {
+	mu sync.Mutex
+	// data holds each tensor as a persistent autograd parameter so the
+	// outer optimizer's per-tensor state (Adagrad accumulators, Adam
+	// moments) survives across pushes.
+	data map[int]*autograd.Tensor
+	opt  optim.Optimizer
+	lr   float64 // outer learning rate β
+}
+
+// NewServer builds a server over the given initial parameters, sharded
+// numShards ways. outerOpt ("sgd", "adagrad", "adam") with learning rate
+// beta performs the outer update of Eq. 3.
+func NewServer(params []*autograd.Tensor, embRowThreshold, numShards int, outerOpt string, beta float64) *Server {
+	if numShards < 1 {
+		numShards = 1
+	}
+	s := &Server{
+		layout:  LayoutOf(params, embRowThreshold),
+		shardOf: make([]int, len(params)),
+	}
+	for i := 0; i < numShards; i++ {
+		s.shards = append(s.shards, &shard{
+			data: map[int]*autograd.Tensor{},
+			opt:  optim.New(outerOpt, beta),
+			lr:   beta,
+		})
+	}
+	for i, p := range params {
+		sh := i % numShards
+		s.shardOf[i] = sh
+		s.shards[sh].data[i] = autograd.Param(p.Rows, p.Cols, append([]float64(nil), p.Data...))
+	}
+	return s
+}
+
+// Layout implements Store.
+func (s *Server) Layout() Layout { return s.layout }
+
+// PullDense implements Store.
+func (s *Server) PullDense() map[int][]float64 {
+	out := map[int][]float64{}
+	for t := 0; t < s.layout.NumTensors(); t++ {
+		if s.layout.Embedding[t] {
+			continue
+		}
+		sh := s.shards[s.shardOf[t]]
+		sh.mu.Lock()
+		out[t] = append([]float64(nil), sh.data[t].Data...)
+		sh.mu.Unlock()
+		atomic.AddInt64(&s.counters.floats, int64(len(out[t])))
+	}
+	atomic.AddInt64(&s.counters.densePulls, 1)
+	return out
+}
+
+// PullRows implements Store.
+func (s *Server) PullRows(tensor int, rows []int) [][]float64 {
+	if !s.layout.Embedding[tensor] {
+		panic(fmt.Sprintf("ps: PullRows on dense tensor %d", tensor))
+	}
+	cols := s.layout.Cols[tensor]
+	sh := s.shards[s.shardOf[tensor]]
+	out := make([][]float64, len(rows))
+	sh.mu.Lock()
+	table := sh.data[tensor].Data
+	for i, r := range rows {
+		out[i] = append([]float64(nil), table[r*cols:(r+1)*cols]...)
+	}
+	sh.mu.Unlock()
+	atomic.AddInt64(&s.counters.rowPulls, int64(len(rows)))
+	atomic.AddInt64(&s.counters.floats, int64(len(rows)*cols))
+	return out
+}
+
+// PushDelta implements Store. Dense tensors go through the shard's outer
+// optimizer (gradient = -delta); embedding rows are updated with plain
+// SGD at the outer learning rate, the standard choice for sparse slots.
+func (s *Server) PushDelta(d Delta) {
+	for t, delta := range d.Dense {
+		sh := s.shards[s.shardOf[t]]
+		sh.mu.Lock()
+		tensor := sh.data[t]
+		for i, v := range delta {
+			tensor.Grad[i] = -v
+		}
+		sh.opt.Step([]*autograd.Tensor{tensor})
+		sh.mu.Unlock()
+		atomic.AddInt64(&s.counters.floats, int64(len(delta)))
+	}
+	for t, rows := range d.Rows {
+		cols := s.layout.Cols[t]
+		sh := s.shards[s.shardOf[t]]
+		sh.mu.Lock()
+		table := sh.data[t].Data
+		for i, r := range rows {
+			dst := table[r*cols : (r+1)*cols]
+			for j, v := range d.RowDeltas[t][i] {
+				dst[j] += sh.lr * v
+			}
+		}
+		sh.mu.Unlock()
+		atomic.AddInt64(&s.counters.rowPushes, int64(len(rows)))
+		atomic.AddInt64(&s.counters.floats, int64(len(rows)*cols))
+	}
+	atomic.AddInt64(&s.counters.densePushes, 1)
+}
+
+// Counters implements Store.
+func (s *Server) Counters() Counters {
+	return Counters{
+		DensePulls:  atomic.LoadInt64(&s.counters.densePulls),
+		DensePushes: atomic.LoadInt64(&s.counters.densePushes),
+		RowPulls:    atomic.LoadInt64(&s.counters.rowPulls),
+		RowPushes:   atomic.LoadInt64(&s.counters.rowPushes),
+		FloatsMoved: atomic.LoadInt64(&s.counters.floats),
+	}
+}
+
+// Snapshot returns the server's current full parameter state aligned
+// with the original parameter list (used to evaluate the trained model).
+func (s *Server) Snapshot() paramvec.Vector {
+	out := make(paramvec.Vector, s.layout.NumTensors())
+	for t := 0; t < s.layout.NumTensors(); t++ {
+		sh := s.shards[s.shardOf[t]]
+		sh.mu.Lock()
+		out[t] = append([]float64(nil), sh.data[t].Data...)
+		sh.mu.Unlock()
+	}
+	return out
+}

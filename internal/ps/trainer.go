@@ -1,0 +1,216 @@
+package ps
+
+import (
+	"math/rand"
+	"sync"
+
+	"mamdr/internal/core"
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/paramvec"
+)
+
+// Options configures distributed MAMDR training.
+type Options struct {
+	// Workers is the number of concurrent worker replicas (the paper
+	// uses 400; benchmarks here use a handful).
+	Workers int
+	// Shards is the number of parameter-server shards (the paper's 40
+	// parameter servers).
+	Shards int
+	// EmbRowThreshold marks tensors with at least this many rows as
+	// sparse embedding tables.
+	EmbRowThreshold int
+	// CacheEnabled toggles the embedding PS-Worker cache of §IV-E.
+	CacheEnabled bool
+	// OuterOpt/OuterLR configure the PS-side outer update (the paper's
+	// industrial setup: Adagrad with lr in [0.1, 1]).
+	OuterOpt string
+	OuterLR  float64
+	// InnerOpt/InnerLR configure worker-local inner steps (SGD 0.1 in
+	// the paper's industrial setup).
+	InnerOpt string
+	InnerLR  float64
+	// Epochs, BatchSize, MaxBatchesPerDomain bound the training loop.
+	Epochs              int
+	BatchSize           int
+	MaxBatchesPerDomain int
+	// UseDR enables the Domain Regularization phase after DN training;
+	// SampleK and DRLR are Algorithm 2's k and γ.
+	UseDR   bool
+	SampleK int
+	DRLR    float64
+	Seed    int64
+}
+
+// WithDefaults fills zero fields with the benchmark-scale defaults.
+func (o Options) WithDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 4
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	if o.EmbRowThreshold == 0 {
+		o.EmbRowThreshold = 64
+	}
+	if o.OuterOpt == "" {
+		o.OuterOpt = "sgd"
+	}
+	if o.OuterLR == 0 {
+		o.OuterLR = 0.5
+	}
+	if o.InnerOpt == "" {
+		o.InnerOpt = "sgd"
+	}
+	if o.InnerLR == 0 {
+		o.InnerLR = 0.1
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 10
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 64
+	}
+	if o.SampleK == 0 {
+		o.SampleK = 3
+	}
+	if o.DRLR == 0 {
+		o.DRLR = 0.1
+	}
+	return o
+}
+
+// Result is the outcome of distributed training.
+type Result struct {
+	// State holds the trained shared/specific parameters and serves as
+	// the predictor.
+	State *core.State
+	// Counters is the parameter-server traffic tally.
+	Counters Counters
+}
+
+// Train runs distributed MAMDR: a parameter server initialized from one
+// replica, Workers concurrent workers running DN inner loops over
+// disjoint domain partitions with asynchronous pushes, and (optionally)
+// a Domain Regularization phase for the specific parameters. replica
+// must return structurally identical models (same Config including
+// Seed); one replica is built per worker plus one for serving.
+func Train(replica func() models.Model, ds *data.Dataset, opts Options) *Result {
+	opts = opts.WithDefaults()
+	serving := replica()
+	server := NewServer(serving.Parameters(), opts.EmbRowThreshold, opts.Shards, opts.OuterOpt, opts.OuterLR)
+	return TrainWithStore(replica, serving, server, server, ds, opts)
+}
+
+// TrainWithStore is Train against an arbitrary Store (e.g. an RPC
+// client); server-side counters are read from counterSrc, which may be
+// nil when the caller tracks them elsewhere.
+func TrainWithStore(replica func() models.Model, serving models.Model, store Store, counterSrc interface{ Counters() Counters }, ds *data.Dataset, opts Options) *Result {
+	opts = opts.WithDefaults()
+	if opts.Workers > ds.NumDomains() {
+		opts.Workers = ds.NumDomains()
+	}
+
+	// Partition domains round-robin across workers.
+	workers := make([]*Worker, opts.Workers)
+	for i := range workers {
+		var domains []int
+		for d := i; d < ds.NumDomains(); d += opts.Workers {
+			domains = append(domains, d)
+		}
+		w := NewWorker(i, replica(), ds, domains, store, opts.CacheEnabled)
+		w.InnerOpt, w.InnerLR = opts.InnerOpt, opts.InnerLR
+		w.BatchSize, w.MaxBatchesPerDomain = opts.BatchSize, opts.MaxBatchesPerDomain
+		workers[i] = w
+	}
+
+	// DN phase: every epoch all workers run their inner loops
+	// concurrently and push asynchronously.
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		var wg sync.WaitGroup
+		for i, w := range workers {
+			wg.Add(1)
+			go func(i int, w *Worker) {
+				defer wg.Done()
+				w.RunEpoch(rand.New(rand.NewSource(opts.Seed + int64(epoch*1000+i))))
+			}(i, w)
+		}
+		wg.Wait()
+	}
+
+	// Assemble the serving state from the PS.
+	shared := storeSnapshot(store, serving)
+	st := &core.State{Model: serving, Shared: shared}
+	for range ds.Domains {
+		st.AddDomain()
+	}
+
+	// DR phase: each worker regularizes the specific parameters of its
+	// owned domains locally (workers hold the global feature storage, so
+	// helper domains may come from anywhere, as in Algorithm 2).
+	if opts.UseDR {
+		cfg := framework.Config{
+			Epochs: 1, BatchSize: opts.BatchSize, LR: opts.InnerLR,
+			InnerOpt: opts.InnerOpt, SampleK: opts.SampleK, DRLR: opts.DRLR,
+			MaxBatchesPerDomain: opts.MaxBatchesPerDomain, Seed: opts.Seed,
+		}.WithDefaults()
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for i, w := range workers {
+			wg.Add(1)
+			go func(i int, w *Worker) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(opts.Seed + 777 + int64(i)))
+				local := &core.State{Model: w.Model, Shared: shared.Clone()}
+				for range ds.Domains {
+					local.AddDomain()
+				}
+				for _, d := range w.Domains {
+					core.DomainRegularization(local, ds, d, cfg, rng)
+					mu.Lock()
+					st.Specific[d] = local.Specific[d]
+					mu.Unlock()
+				}
+			}(i, w)
+		}
+		wg.Wait()
+	}
+
+	res := &Result{State: st}
+	if counterSrc != nil {
+		res.Counters = counterSrc.Counters()
+	}
+	return res
+}
+
+// storeSnapshot reads the full parameter state (dense + embeddings) from
+// the store, aligned with the serving model's parameters.
+func storeSnapshot(store Store, serving models.Model) paramvec.Vector {
+	if s, ok := store.(*Server); ok {
+		return s.Snapshot()
+	}
+	layout := store.Layout()
+	params := serving.Parameters()
+	out := paramvec.Snapshot(params)
+	dense := store.PullDense()
+	for t, vals := range dense {
+		copy(out[t], vals)
+	}
+	for t := range params {
+		if !layout.Embedding[t] {
+			continue
+		}
+		rows := make([]int, layout.Rows[t])
+		for r := range rows {
+			rows[r] = r
+		}
+		vals := store.PullRows(t, rows)
+		cols := layout.Cols[t]
+		for r, v := range vals {
+			copy(out[t][r*cols:(r+1)*cols], v)
+		}
+	}
+	return out
+}

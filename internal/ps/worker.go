@@ -1,0 +1,213 @@
+package ps
+
+import (
+	"math/rand"
+
+	"mamdr/internal/autograd"
+	"mamdr/internal/data"
+	"mamdr/internal/models"
+	"mamdr/internal/optim"
+)
+
+// Worker runs MAMDR's inner loops on a model replica over an assigned
+// subset of domains, exchanging parameters with a Store as described in
+// Section IV-E:
+//
+//  1. pull dense parameters into the static cache at epoch start;
+//  2. during the inner loop, resolve embedding rows through the
+//     dynamic-cache — a miss queries the *latest* row from the PS
+//     (bounding staleness), caches it, and records its static value;
+//  3. after the inner loop, push Θ̃−Θ for dense tensors and touched rows
+//     only, then clear both caches.
+//
+// With CacheEnabled=false the worker re-pulls every batch's embedding
+// rows from the PS and pushes per-batch deltas immediately — the naive
+// protocol whose synchronization overhead the cache experiments compare
+// against.
+type Worker struct {
+	ID           int
+	Model        models.Model
+	Dataset      *data.Dataset
+	Domains      []int
+	Store        Store
+	CacheEnabled bool
+
+	// InnerOpt and InnerLR configure the worker's local optimizer.
+	InnerOpt string
+	InnerLR  float64
+	// BatchSize and MaxBatchesPerDomain bound the inner loop per domain.
+	BatchSize           int
+	MaxBatchesPerDomain int
+
+	params []*autograd.Tensor
+	// static holds the epoch-start values: full tensors for dense
+	// parameters, and per-row values for embedding rows as they are
+	// first pulled.
+	staticDense map[int][]float64
+	staticRows  map[int]map[int][]float64
+	// dynamicRows marks embedding rows currently held in the dynamic
+	// cache (the model tensor itself stores their updated values).
+	dynamicRows map[int]map[int]bool
+}
+
+// NewWorker builds a worker over a model replica.
+func NewWorker(id int, m models.Model, ds *data.Dataset, domains []int, store Store, cache bool) *Worker {
+	return &Worker{
+		ID: id, Model: m, Dataset: ds, Domains: domains, Store: store,
+		CacheEnabled: cache,
+		InnerOpt:     "sgd", InnerLR: 0.1,
+		BatchSize: 64,
+		params:    m.Parameters(),
+	}
+}
+
+// RunEpoch executes one DN inner loop over the worker's domains and
+// pushes the outer-loop delta to the parameter server.
+func (w *Worker) RunEpoch(rng *rand.Rand) {
+	w.pullDense()
+	w.staticRows = map[int]map[int][]float64{}
+	w.dynamicRows = map[int]map[int]bool{}
+
+	inner := optim.New(w.InnerOpt, w.InnerLR)
+	order := rng.Perm(len(w.Domains))
+	for _, di := range order {
+		d := w.Domains[di]
+		batches := w.Dataset.Batches(d, data.Train, w.BatchSize, rng)
+		if w.MaxBatchesPerDomain > 0 && len(batches) > w.MaxBatchesPerDomain {
+			batches = batches[:w.MaxBatchesPerDomain]
+		}
+		for _, b := range batches {
+			w.resolveEmbeddingRows(b)
+			for _, p := range w.params {
+				p.ZeroGrad()
+			}
+			loss := autograd.BCEWithLogits(w.Model.Forward(b, true), b.Labels)
+			loss.Backward()
+			inner.Step(w.params)
+			if !w.CacheEnabled {
+				// Naive protocol: push this batch's deltas right away
+				// and drop the cache so the next batch re-pulls.
+				w.pushDelta()
+				w.pullDense()
+				w.staticRows = map[int]map[int][]float64{}
+				w.dynamicRows = map[int]map[int]bool{}
+			}
+		}
+	}
+	if w.CacheEnabled {
+		w.pushDelta()
+	}
+	// Clear caches for the next epoch (paper: "we clear both the
+	// static-cache and dynamic-cache for next epoch").
+	w.staticDense = nil
+	w.staticRows = nil
+	w.dynamicRows = nil
+}
+
+// pullDense refreshes dense tensors from the PS into both the model and
+// the static cache.
+func (w *Worker) pullDense() {
+	w.staticDense = w.Store.PullDense()
+	for t, vals := range w.staticDense {
+		copy(w.params[t].Data, vals)
+	}
+}
+
+// resolveEmbeddingRows ensures every embedding row the batch touches is
+// present in the dynamic cache, querying the latest values from the PS
+// on miss.
+func (w *Worker) resolveEmbeddingRows(b *data.Batch) {
+	layout := w.Store.Layout()
+	for t, p := range w.params {
+		if !layout.Embedding[t] {
+			continue
+		}
+		rows := w.rowsTouchedBy(b, t)
+		if len(rows) == 0 {
+			continue
+		}
+		if w.dynamicRows[t] == nil {
+			w.dynamicRows[t] = map[int]bool{}
+			w.staticRows[t] = map[int][]float64{}
+		}
+		var missing []int
+		for _, r := range rows {
+			if !w.dynamicRows[t][r] {
+				missing = append(missing, r)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		vals := w.Store.PullRows(t, missing)
+		cols := p.Cols
+		for i, r := range missing {
+			copy(p.Data[r*cols:(r+1)*cols], vals[i])
+			w.staticRows[t][r] = vals[i]
+			w.dynamicRows[t][r] = true
+		}
+	}
+}
+
+// rowsTouchedBy returns the distinct rows of embedding tensor t that the
+// batch will gather. Tensor-to-field association is positional: the
+// encoder's embedding tables appear first in Parameters() in field
+// order, which LayoutOf identifies by their row counts matching the
+// field vocabularies.
+func (w *Worker) rowsTouchedBy(b *data.Batch, t int) []int {
+	p := w.params[t]
+	if w.Dataset.HasFixedFeatures() {
+		return nil // frozen features never sync
+	}
+	// Models built on the shared Encoder expose the per-field embedding
+	// tables as the first NumFields() parameters in schema order, so
+	// tensor t (< NumFields) serves field t. Tables for tiny
+	// vocabularies fall below the embedding row threshold and are
+	// synchronized densely instead, so they never reach this point.
+	if t >= w.Dataset.Schema.NumFields() {
+		return nil
+	}
+	ids := b.FieldValues[t]
+	seen := make(map[int]bool, len(ids))
+	var rows []int
+	for _, id := range ids {
+		if id >= 0 && id < p.Rows && !seen[id] {
+			seen[id] = true
+			rows = append(rows, id)
+		}
+	}
+	return rows
+}
+
+// pushDelta sends Θ̃−Θ to the PS: full deltas for dense tensors, touched
+// rows only for embeddings.
+func (w *Worker) pushDelta() {
+	layout := w.Store.Layout()
+	d := Delta{Dense: map[int][]float64{}, Rows: map[int][]int{}, RowDeltas: map[int][][]float64{}}
+	for t, p := range w.params {
+		if layout.Embedding[t] {
+			rows := w.dynamicRows[t]
+			if len(rows) == 0 {
+				continue
+			}
+			cols := p.Cols
+			for r := range rows {
+				static := w.staticRows[t][r]
+				delta := make([]float64, cols)
+				for j := 0; j < cols; j++ {
+					delta[j] = p.Data[r*cols+j] - static[j]
+				}
+				d.Rows[t] = append(d.Rows[t], r)
+				d.RowDeltas[t] = append(d.RowDeltas[t], delta)
+			}
+			continue
+		}
+		static := w.staticDense[t]
+		delta := make([]float64, len(p.Data))
+		for j := range delta {
+			delta[j] = p.Data[j] - static[j]
+		}
+		d.Dense[t] = delta
+	}
+	w.Store.PushDelta(d)
+}

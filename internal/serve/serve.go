@@ -1,0 +1,142 @@
+// Package serve exposes a trained MAMDR state over HTTP, mirroring the
+// serving side of the paper's Taobao MDR platform (Fig. 2): clients ask
+// for click probabilities of user-item pairs under a given domain, and
+// new domains can be registered at runtime (they serve with the shared
+// parameters until their specific parameters are trained).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"mamdr/internal/core"
+	"mamdr/internal/data"
+)
+
+// Server serves predictions from a MAMDR state. All handlers are safe
+// for concurrent use; prediction swaps domain parameters in and out of
+// the model, so calls are serialized by a mutex (models are cheap to
+// replicate if more throughput is needed — one Server per replica).
+type Server struct {
+	mu      sync.Mutex
+	state   *core.State
+	dataset *data.Dataset
+}
+
+// New builds a server over a trained state and its dataset (the dataset
+// supplies the global feature storage needed to resolve field values).
+func New(state *core.State, dataset *data.Dataset) *Server {
+	return &Server{state: state, dataset: dataset}
+}
+
+// PredictRequest asks for click probabilities of user-item pairs in one
+// domain.
+type PredictRequest struct {
+	Domain int   `json:"domain"`
+	Users  []int `json:"users"`
+	Items  []int `json:"items"`
+}
+
+// PredictResponse carries the probabilities aligned with the request
+// pairs.
+type PredictResponse struct {
+	Probabilities []float64 `json:"probabilities"`
+}
+
+// DomainsResponse describes the served domains.
+type DomainsResponse struct {
+	NumDomains int      `json:"num_domains"`
+	Names      []string `json:"names"`
+}
+
+// AddDomainResponse reports a runtime domain registration.
+type AddDomainResponse struct {
+	ID int `json:"id"`
+}
+
+// Handler returns the HTTP routes:
+//
+//	POST /predict     {domain, users[], items[]} -> {probabilities[]}
+//	GET  /domains     -> {num_domains, names[]}
+//	POST /domains     -> {id}   (registers a new domain)
+//	GET  /healthz     -> 200 ok
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/domains", s.handleDomains)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Users) != len(req.Items) {
+		http.Error(w, "users and items must align", http.StatusBadRequest)
+		return
+	}
+	if len(req.Users) == 0 {
+		http.Error(w, "empty request", http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Domain < 0 || req.Domain >= len(s.state.Specific) {
+		http.Error(w, fmt.Sprintf("unknown domain %d", req.Domain), http.StatusNotFound)
+		return
+	}
+	ins := make([]data.Interaction, len(req.Users))
+	for i := range req.Users {
+		if req.Users[i] < 0 || req.Users[i] >= s.dataset.NumUsers {
+			http.Error(w, fmt.Sprintf("unknown user %d", req.Users[i]), http.StatusBadRequest)
+			return
+		}
+		if req.Items[i] < 0 || req.Items[i] >= s.dataset.NumItems {
+			http.Error(w, fmt.Sprintf("unknown item %d", req.Items[i]), http.StatusBadRequest)
+			return
+		}
+		ins[i] = data.Interaction{User: req.Users[i], Item: req.Items[i]}
+	}
+	probs := s.state.Predict(s.dataset.MakeBatch(req.Domain, ins))
+	writeJSON(w, PredictResponse{Probabilities: probs})
+}
+
+func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		resp := DomainsResponse{NumDomains: len(s.state.Specific)}
+		for _, dom := range s.dataset.Domains {
+			resp.Names = append(resp.Names, dom.Name)
+		}
+		for i := len(resp.Names); i < resp.NumDomains; i++ {
+			resp.Names = append(resp.Names, fmt.Sprintf("runtime-%d", i))
+		}
+		writeJSON(w, resp)
+	case http.MethodPost:
+		id := s.state.AddDomain()
+		writeJSON(w, AddDomainResponse{ID: id})
+	default:
+		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"mamdr/internal/core"
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/synth"
+)
+
+func testServer(t *testing.T) (*Server, *data.Dataset) {
+	t.Helper()
+	ds := synth.Generate(synth.Config{
+		Name: "serve-test", Seed: 61, ConflictStrength: 0.5,
+		Domains: []synth.DomainSpec{
+			{Name: "a", Samples: 200, CTRRatio: 0.3},
+			{Name: "b", Samples: 150, CTRRatio: 0.4},
+		},
+	})
+	m := models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{8}, Seed: 5})
+	st := framework.MustNew("mamdr").Fit(m, ds, framework.Config{Epochs: 1, BatchSize: 32, Seed: 9}).(*core.State)
+	return New(st, ds), ds
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, path, &buf)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func TestHealthz(t *testing.T) {
+	s, _ := testServer(t)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+}
+
+func TestPredictReturnsProbabilities(t *testing.T) {
+	s, _ := testServer(t)
+	w := postJSON(t, s.Handler(), "/predict", PredictRequest{
+		Domain: 0, Users: []int{0, 1, 2}, Items: []int{0, 1, 0},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict = %d: %s", w.Code, w.Body)
+	}
+	var resp PredictResponse
+	if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Probabilities) != 3 {
+		t.Fatalf("got %d probabilities", len(resp.Probabilities))
+	}
+	for _, p := range resp.Probabilities {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %g out of range", p)
+		}
+	}
+}
+
+func TestPredictDomainSpecific(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+	get := func(domain int) []float64 {
+		w := postJSON(t, h, "/predict", PredictRequest{Domain: domain, Users: []int{0, 1}, Items: []int{0, 1}})
+		var resp PredictResponse
+		if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Probabilities
+	}
+	p0, p1 := get(0), get(1)
+	same := true
+	for i := range p0 {
+		if p0[i] != p1[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Log("domains served identical scores (specific params may be near zero after 1 epoch)")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+	cases := []struct {
+		req  PredictRequest
+		code int
+	}{
+		{PredictRequest{Domain: 99, Users: []int{0}, Items: []int{0}}, http.StatusNotFound},
+		{PredictRequest{Domain: 0, Users: []int{0, 1}, Items: []int{0}}, http.StatusBadRequest},
+		{PredictRequest{Domain: 0}, http.StatusBadRequest},
+		{PredictRequest{Domain: 0, Users: []int{99999}, Items: []int{0}}, http.StatusBadRequest},
+		{PredictRequest{Domain: 0, Users: []int{0}, Items: []int{99999}}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		if w := postJSON(t, h, "/predict", c.req); w.Code != c.code {
+			t.Fatalf("case %d: code %d, want %d", i, w.Code, c.code)
+		}
+	}
+	// Malformed JSON.
+	req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewBufferString("{nope"))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("malformed json = %d", w.Code)
+	}
+	// Wrong method.
+	req = httptest.NewRequest(http.MethodGet, "/predict", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict = %d", w.Code)
+	}
+}
+
+func TestDomainsListAndRegister(t *testing.T) {
+	s, ds := testServer(t)
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/domains", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var list DomainsResponse
+	if err := json.NewDecoder(w.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.NumDomains != ds.NumDomains() || len(list.Names) != 2 {
+		t.Fatalf("domains = %+v", list)
+	}
+
+	// Register a new domain at runtime.
+	w2 := postJSON(t, h, "/domains", nil)
+	var added AddDomainResponse
+	if err := json.NewDecoder(w2.Body).Decode(&added); err != nil {
+		t.Fatal(err)
+	}
+	if added.ID != 2 {
+		t.Fatalf("new domain id = %d, want 2", added.ID)
+	}
+
+	// The fresh domain serves immediately with shared parameters.
+	w3 := postJSON(t, h, "/predict", PredictRequest{Domain: 2, Users: []int{0}, Items: []int{0}})
+	if w3.Code != http.StatusOK {
+		t.Fatalf("predict on new domain = %d: %s", w3.Code, w3.Body)
+	}
+
+	// And the listing reflects it.
+	req = httptest.NewRequest(http.MethodGet, "/domains", nil)
+	w4 := httptest.NewRecorder()
+	h.ServeHTTP(w4, req)
+	var list2 DomainsResponse
+	if err := json.NewDecoder(w4.Body).Decode(&list2); err != nil {
+		t.Fatal(err)
+	}
+	if list2.NumDomains != 3 || list2.Names[2] != "runtime-2" {
+		t.Fatalf("after register: %+v", list2)
+	}
+}
+
+func TestConcurrentPredicts(t *testing.T) {
+	s, _ := testServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(domain int) {
+			defer wg.Done()
+			body, _ := json.Marshal(PredictRequest{Domain: domain % 2, Users: []int{0, 1}, Items: []int{1, 0}})
+			for i := 0; i < 20; i++ {
+				resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- nil
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if _, bad := <-errs; bad {
+		t.Fatal("concurrent predicts failed")
+	}
+}

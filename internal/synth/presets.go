@@ -1,0 +1,192 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The per-domain percentages and CTR ratios below are copied from the
+// paper's Tables II, III and IV. Sample counts are the paper's
+// percentages applied to a caller-chosen total, so the same imbalance
+// profile is reproduced at any scale.
+
+// amazon6Domains: Table II.
+var amazon6Domains = []struct {
+	name string
+	pct  float64
+	ctr  float64
+}{
+	{"Musical Instruments", 7.11, 0.22},
+	{"Office Products", 23.17, 0.23},
+	{"Patio Lawn and Garden", 17.87, 0.32},
+	{"Prime Pantry", 4.10, 0.23},
+	{"Toys and Games", 31.80, 0.47},
+	{"Video Games", 15.94, 0.21},
+}
+
+// amazon13Domains: Table III. The 7 additional domains are sparse.
+var amazon13Domains = []struct {
+	name string
+	pct  float64
+	ctr  float64
+}{
+	{"Arts Crafts and Sewing", 11.86, 0.22},
+	{"Digital Music", 3.78, 0.23},
+	{"Gift Cards", 0.06, 0.32},
+	{"Industrial and Scientific", 1.86, 0.23},
+	{"Luxury Beauty", 0.43, 0.47},
+	{"Magazine Subscriptions", 0.06, 0.21},
+	{"Musical Instruments", 3.99, 0.36},
+	{"Office Products", 15.58, 0.30},
+	{"Patio Lawn and Garden", 11.36, 0.46},
+	{"Prime Pantry", 3.22, 0.25},
+	{"Software", 0.05, 0.30},
+	{"Toys and Games", 36.97, 0.30},
+	{"Video Games", 10.78, 0.27},
+}
+
+// taobao30Pct / taobao30CTR: Table IV (domains D1..D30; the first 10 and
+// 20 entries form Taobao-10 and Taobao-20).
+var taobao30Pct = []float64{
+	1.82, 0.96, 2.77, 8.60, 1.59, 0.99, 0.58, 3.31, 0.77, 2.46,
+	4.03, 0.89, 1.22, 17.29, 2.14, 0.75, 1.94, 7.42, 1.67, 0.40,
+	0.65, 4.03, 5.73, 1.01, 9.38, 0.73, 3.43, 5.36, 3.35, 4.72,
+}
+
+var taobao30CTR = []float64{
+	0.22, 0.23, 0.32, 0.23, 0.47, 0.21, 0.36, 0.30, 0.46, 0.25,
+	0.30, 0.30, 0.27, 0.20, 0.33, 0.23, 0.38, 0.22, 0.29, 0.33,
+	0.47, 0.23, 0.24, 0.44, 0.21, 0.47, 0.37, 0.28, 0.45, 0.43,
+}
+
+// scaleDomains converts percentage profiles to sample counts for a total
+// budget, enforcing a small per-domain floor so sparse domains still have
+// train/val/test entries.
+func scaleDomains(specs []struct {
+	name string
+	pct  float64
+	ctr  float64
+}, total int) []DomainSpec {
+	out := make([]DomainSpec, 0, len(specs))
+	for _, s := range specs {
+		n := int(float64(total) * s.pct / 100)
+		if n < 24 {
+			n = 24
+		}
+		out = append(out, DomainSpec{Name: s.name, Samples: n, CTRRatio: s.ctr})
+	}
+	return out
+}
+
+// Amazon6 builds the Amazon-6 benchmark equivalent: 6 relatively
+// data-rich domains, learned embeddings, moderate conflict.
+func Amazon6(totalSamples int, seed int64) Config {
+	return Config{
+		Name:             "Amazon-6",
+		Seed:             seed,
+		ConflictStrength: 0.8,
+		Domains:          scaleDomains(amazon6Domains, totalSamples),
+	}
+}
+
+// Amazon13 builds the Amazon-13 benchmark equivalent: Amazon-6's regime
+// plus 7 sparse domains that stress specific-parameter overfitting.
+func Amazon13(totalSamples int, seed int64) Config {
+	return Config{
+		Name:             "Amazon-13",
+		Seed:             seed,
+		ConflictStrength: 0.8,
+		Domains:          scaleDomains(amazon13Domains, totalSamples),
+	}
+}
+
+// taobaoConfig builds a Taobao-n benchmark equivalent: frozen dense
+// features (the original uses fixed GraphSage features) and stronger
+// conflict across many small domains.
+func taobaoConfig(name string, n, totalSamples int, seed int64) Config {
+	specs := make([]DomainSpec, 0, n)
+	var pctTotal float64
+	for i := 0; i < n; i++ {
+		pctTotal += taobao30Pct[i]
+	}
+	for i := 0; i < n; i++ {
+		samples := int(float64(totalSamples) * taobao30Pct[i] / pctTotal)
+		if samples < 24 {
+			samples = 24
+		}
+		specs = append(specs, DomainSpec{
+			Name:     fmt.Sprintf("D%d", i+1),
+			Samples:  samples,
+			CTRRatio: taobao30CTR[i],
+		})
+	}
+	return Config{
+		Name:             name,
+		Seed:             seed,
+		ConflictStrength: 1.0,
+		FixedFeatures:    true,
+		Domains:          specs,
+	}
+}
+
+// Taobao10 builds the Taobao-10 benchmark equivalent (domains D1-D10).
+func Taobao10(totalSamples int, seed int64) Config {
+	return taobaoConfig("Taobao-10", 10, totalSamples, seed)
+}
+
+// Taobao20 builds the Taobao-20 benchmark equivalent (domains D1-D20).
+func Taobao20(totalSamples int, seed int64) Config {
+	return taobaoConfig("Taobao-20", 20, totalSamples, seed)
+}
+
+// Taobao30 builds the Taobao-30 benchmark equivalent (domains D1-D30).
+func Taobao30(totalSamples int, seed int64) Config {
+	return taobaoConfig("Taobao-30", 30, totalSamples, seed)
+}
+
+// TaobaoOnline builds an industry-scale equivalent of the Taobao-online
+// dataset: numDomains domains whose sizes follow a Zipf long tail (a few
+// huge head domains, a long tail of tiny ones, as in the production
+// system's 69,102 domains averaging ~7k samples each), with CTR ratios
+// drawn uniformly from [0.2, 0.5].
+func TaobaoOnline(numDomains, totalSamples int, seed int64) Config {
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, numDomains)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+1) // Zipf s=1
+		wsum += weights[i]
+	}
+	specs := make([]DomainSpec, numDomains)
+	for i := range specs {
+		n := int(float64(totalSamples) * weights[i] / wsum)
+		if n < 24 {
+			n = 24
+		}
+		specs[i] = DomainSpec{
+			Name:     fmt.Sprintf("online-%d", i+1),
+			Samples:  n,
+			CTRRatio: 0.2 + 0.3*rng.Float64(),
+		}
+	}
+	return Config{
+		Name:             "Taobao-online",
+		Seed:             seed,
+		ConflictStrength: 1.2,
+		FixedFeatures:    true,
+		Domains:          specs,
+	}
+}
+
+// Presets maps dataset names to their builders at a default experiment
+// scale; used by command-line tools.
+func Presets(totalSamples int, seed int64) map[string]Config {
+	return map[string]Config{
+		"amazon-6":      Amazon6(totalSamples, seed),
+		"amazon-13":     Amazon13(totalSamples, seed),
+		"taobao-10":     Taobao10(totalSamples, seed),
+		"taobao-20":     Taobao20(totalSamples, seed),
+		"taobao-30":     Taobao30(totalSamples, seed),
+		"taobao-online": TaobaoOnline(60, totalSamples, seed),
+	}
+}

@@ -1,0 +1,126 @@
+package mamdr
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mamdr/internal/data"
+)
+
+func TestGenerateDatasetPresets(t *testing.T) {
+	for _, preset := range []string{"amazon-6", "amazon-13", "taobao-10", "taobao-20", "taobao-30", "taobao-online"} {
+		ds := GenerateDataset(DatasetSpec{Preset: preset, TotalSamples: 1500, Seed: 3})
+		if err := ds.Validate(); err != nil {
+			t.Fatalf("%s: %v", preset, err)
+		}
+	}
+}
+
+func TestGenerateDatasetUnknownPreset(t *testing.T) {
+	if _, err := GenerateDatasetErr(DatasetSpec{Preset: "netflix"}); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GenerateDataset should panic on unknown preset")
+		}
+	}()
+	GenerateDataset(DatasetSpec{Preset: "netflix"})
+}
+
+func TestSaveLoadDataset(t *testing.T) {
+	ds := GenerateDataset(DatasetSpec{Preset: "taobao-10", TotalSamples: 1200, Seed: 3})
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := SaveDataset(ds, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != ds.Name || got.TotalSamples() != ds.TotalSamples() {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestNamesNonEmpty(t *testing.T) {
+	if len(ModelNames()) != 11 {
+		t.Fatalf("ModelNames = %v", ModelNames())
+	}
+	fw := FrameworkNames()
+	want := map[string]bool{"mamdr": true, "dn": true, "dr": true, "alternate": true}
+	found := 0
+	for _, k := range fw {
+		if want[k] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Fatalf("FrameworkNames missing core entries: %v", fw)
+	}
+}
+
+func TestTrainEndToEnd(t *testing.T) {
+	ds := GenerateDataset(DatasetSpec{Preset: "taobao-10", TotalSamples: 2000, Seed: 3})
+	res, err := Train(TrainSpec{
+		Dataset:   ds,
+		Model:     "mlp",
+		Framework: "mamdr",
+		Epochs:    3,
+		Seed:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TestAUC) != ds.NumDomains() || len(res.ValAUC) != ds.NumDomains() {
+		t.Fatal("per-domain AUC lengths wrong")
+	}
+	if res.MeanTestAUC <= 0.5 {
+		t.Fatalf("mean test AUC %.4f, want > 0.5", res.MeanTestAUC)
+	}
+	if res.Predictor == nil || res.Model == nil {
+		t.Fatal("missing predictor/model")
+	}
+}
+
+func TestTrainDefaults(t *testing.T) {
+	ds := GenerateDataset(DatasetSpec{Preset: "taobao-10", TotalSamples: 1200, Seed: 3})
+	res, err := Train(TrainSpec{Dataset: ds, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanTestAUC == 0 {
+		t.Fatal("evaluation missing")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(TrainSpec{}); err == nil {
+		t.Fatal("expected error for nil dataset")
+	}
+	ds := GenerateDataset(DatasetSpec{Preset: "taobao-10", TotalSamples: 1200, Seed: 3})
+	if _, err := Train(TrainSpec{Dataset: ds, Model: "nope"}); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+	if _, err := Train(TrainSpec{Dataset: ds, Framework: "nope"}); err == nil {
+		t.Fatal("expected error for unknown framework")
+	}
+}
+
+func TestPredictHelper(t *testing.T) {
+	ds := GenerateDataset(DatasetSpec{Preset: "taobao-10", TotalSamples: 1200, Seed: 3})
+	res, err := Train(TrainSpec{Dataset: ds, Model: "mlp", Framework: "alternate", Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := []data.Interaction{{User: 0, Item: 0, Label: 1}, {User: 1, Item: 1, Label: 0}}
+	probs := Predict(res.Predictor, ds, 0, ins)
+	if len(probs) != 2 {
+		t.Fatalf("got %d probs", len(probs))
+	}
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			t.Fatalf("probability %g out of range", p)
+		}
+	}
+}

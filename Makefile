@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-serve check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The PS and serving paths are the concurrent hot spots; keep them
+# race-clean.
+race:
+	$(GO) test -race -count=1 ./internal/ps/... ./internal/serve/...
+
+bench-serve:
+	$(GO) test ./internal/serve -run xxx -bench ServeThroughput -benchtime 2s
+
+check: vet build test race

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"mamdr"
 	"mamdr/internal/core"
+	"mamdr/internal/models"
 	"mamdr/internal/serve"
 )
 
@@ -30,6 +32,8 @@ func main() {
 		epochs     = flag.Int("epochs", 10, "training epochs before serving")
 		seed       = flag.Int64("seed", 1, "random seed")
 		addr       = flag.String("addr", ":8080", "listen address")
+		replicas   = flag.Int("replicas", 0, "model-replica pool size (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 5*time.Second, "per-request replica-acquisition timeout")
 		checkpoint = flag.String("checkpoint", "", "load a state saved with core.State.Save instead of training")
 	)
 	flag.Parse()
@@ -59,9 +63,25 @@ func main() {
 		log.Printf("trained %s on %s: mean test AUC %.4f", *model, ds.Name, res.MeanTestAUC)
 	}
 
-	srv := serve.New(state, ds)
+	srv := serve.NewWithOptions(state, ds, serve.Options{
+		Replicas:       *replicas,
+		RequestTimeout: *timeout,
+		// Replicas mirror the trained model's structure (same Config,
+		// including Seed); their initial weights are irrelevant because
+		// every prediction restores a precomposed snapshot first.
+		ReplicaFactory: func() models.Model {
+			return models.MustNew(*model, models.Config{Dataset: ds, Seed: *seed})
+		},
+	})
 	fmt.Printf("serving %d domains on %s\n", ds.NumDomains(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
 }
 
 // pickEpochs trains minimally when a checkpoint will overwrite the

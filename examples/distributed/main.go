@@ -28,7 +28,7 @@ func main() {
 
 	run := func(cache bool) (float64, ps.Counters) {
 		serving := replica()
-		server := ps.NewServer(serving.Parameters(), 64, 4, "sgd", 0.5)
+		server := ps.NewServer(serving.Parameters(), models.EmbeddingTablesOf(serving), 4, "sgd", 0.5)
 
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

@@ -212,6 +212,44 @@ func TestSampleHelpersSingleDomain(t *testing.T) {
 	}
 }
 
+func TestSampleHelpersEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+
+	// k >= n-1 returns every other domain exactly once.
+	for _, k := range []int{4, 5, 100} {
+		hs := SampleHelpers(5, 2, k, rng)
+		if len(hs) != 4 {
+			t.Fatalf("k=%d: got %d helpers, want all 4", k, len(hs))
+		}
+		seen := map[int]bool{}
+		for _, h := range hs {
+			seen[h] = true
+		}
+		for d := 0; d < 5; d++ {
+			if d == 2 {
+				if seen[d] {
+					t.Fatalf("k=%d: target sampled as helper", k)
+				}
+				continue
+			}
+			if !seen[d] {
+				t.Fatalf("k=%d: domain %d missing from helpers %v", k, d, hs)
+			}
+		}
+	}
+
+	// k=0 asks for no helpers.
+	if hs := SampleHelpers(5, 2, 0, rng); len(hs) != 0 {
+		t.Fatalf("k=0: got %v, want empty", hs)
+	}
+
+	// n=1 with k=0 still falls back to the target (DR degrades to
+	// per-domain finetuning rather than a no-op).
+	if hs := SampleHelpers(1, 0, 0, rng); len(hs) != 1 || hs[0] != 0 {
+		t.Fatalf("n=1,k=0: got %v, want [0]", hs)
+	}
+}
+
 func TestMAMDRDeterministicWithSeed(t *testing.T) {
 	ds := testDataset(t, 0.8)
 	run := func() []float64 {

@@ -59,3 +59,6 @@ func (m *AutoInt) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *AutoInt) Name() string { return "AutoInt" }
+
+// EmbeddingTables implements EmbeddingTabler.
+func (m *AutoInt) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }

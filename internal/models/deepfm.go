@@ -81,3 +81,14 @@ func (m *DeepFM) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *DeepFM) Name() string { return "DeepFM" }
+
+// EmbeddingTables implements EmbeddingTabler: the encoder's tables plus
+// the per-field first-order tables (vocab x 1) that follow them.
+func (m *DeepFM) EmbeddingTables() map[int]int {
+	tables := m.enc.EmbeddingTables()
+	base := len(m.enc.Parameters())
+	for f := range m.firstEmbs {
+		tables[base+f] = f
+	}
+	return tables
+}

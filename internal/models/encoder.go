@@ -84,3 +84,17 @@ func (e *Encoder) Parameters() []*autograd.Tensor {
 	}
 	return ps
 }
+
+// EmbeddingTables maps each index of Parameters() that is a per-field
+// embedding table to the schema field it serves. In learned mode the
+// tables appear first, one per field in schema order; in fixed-feature
+// mode the frozen tables expose no parameters and the map is empty.
+// This is the explicit contract the parameter server uses to decide
+// which tensors synchronize row-wise (see internal/nn/README.md).
+func (e *Encoder) EmbeddingTables() map[int]int {
+	tables := make(map[int]int, len(e.fieldEmbs))
+	for f := range e.fieldEmbs {
+		tables[f] = f
+	}
+	return tables
+}

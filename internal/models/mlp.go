@@ -49,6 +49,10 @@ func (m *MLP) Parameters() []*autograd.Tensor {
 // Name implements Model.
 func (m *MLP) Name() string { return "MLP" }
 
+// EmbeddingTables implements EmbeddingTabler: the encoder's tables lead
+// Parameters(), so its map applies unchanged.
+func (m *MLP) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }
+
 // RAW is the compact production-style base model used in the paper's
 // industry experiments (Tables VIII-IX), where MAMDR is applied on top of
 // the existing serving model. Structurally it is a narrow single-hidden-
@@ -88,3 +92,6 @@ func (m *RAW) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *RAW) Name() string { return "RAW" }
+
+// EmbeddingTables implements EmbeddingTabler.
+func (m *RAW) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }

@@ -79,3 +79,6 @@ func (m *MMoE) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *MMoE) Name() string { return "MMOE" }
+
+// EmbeddingTables implements EmbeddingTabler.
+func (m *MMoE) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }

@@ -30,6 +30,31 @@ type Model interface {
 	Name() string
 }
 
+// EmbeddingTabler is implemented by models that can identify which of
+// their Parameters() are per-field embedding tables. The returned map
+// keys are parameter indices and the values are the schema fields whose
+// ids index the table's rows. The parameter server synchronizes exactly
+// these tensors row-wise (touched rows only, through the static/dynamic
+// cache of Section IV-E); every other tensor is synchronized densely.
+//
+// All models in this package implement the interface by delegating to
+// their Encoder, extended with any extra per-field tables they own
+// (e.g. the vocab x 1 wide/first-order tables of WDL, NeurFM, DeepFM).
+type EmbeddingTabler interface {
+	EmbeddingTables() map[int]int
+}
+
+// EmbeddingTablesOf returns m's embedding-table classification, or an
+// empty map when the model does not implement EmbeddingTabler — in that
+// case every tensor is synchronized densely, which is always correct
+// (just more traffic) and never silently skips a tensor.
+func EmbeddingTablesOf(m Model) map[int]int {
+	if t, ok := m.(EmbeddingTabler); ok {
+		return t.EmbeddingTables()
+	}
+	return map[int]int{}
+}
+
 // Config carries everything needed to build any model structure.
 type Config struct {
 	Dataset *data.Dataset

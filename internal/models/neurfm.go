@@ -81,3 +81,14 @@ func (m *NeurFM) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *NeurFM) Name() string { return "NeurFM" }
+
+// EmbeddingTables implements EmbeddingTabler: the encoder's tables plus
+// the per-field linear-term tables (vocab x 1) that follow them.
+func (m *NeurFM) EmbeddingTables() map[int]int {
+	tables := m.enc.EmbeddingTables()
+	base := len(m.enc.Parameters())
+	for f := range m.firstEmbs {
+		tables[base+f] = f
+	}
+	return tables
+}

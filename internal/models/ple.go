@@ -142,6 +142,9 @@ func (m *CGC) Parameters() []*autograd.Tensor {
 // Name implements Model.
 func (m *CGC) Name() string { return "CGC" }
 
+// EmbeddingTables implements EmbeddingTabler.
+func (m *CGC) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }
+
 // PLE is Progressive Layered Extraction (Tang et al., 2020): two stacked
 // CGC extraction levels. The first level's shared mixture feeds the
 // second level's experts alongside the domain mixture, progressively
@@ -213,3 +216,6 @@ func (m *PLE) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *PLE) Name() string { return "PLE" }
+
+// EmbeddingTables implements EmbeddingTabler.
+func (m *PLE) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }

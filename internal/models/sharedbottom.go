@@ -60,3 +60,6 @@ func (m *SharedBottom) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *SharedBottom) Name() string { return "Shared-Bottom" }
+
+// EmbeddingTables implements EmbeddingTabler.
+func (m *SharedBottom) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }

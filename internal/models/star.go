@@ -140,3 +140,8 @@ func (m *STAR) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *STAR) Name() string { return "Star" }
+
+// EmbeddingTables implements EmbeddingTabler. The domain-indicator table
+// is intentionally excluded: it is indexed by batch domain, not by a
+// schema field, and is tiny, so it synchronizes densely.
+func (m *STAR) EmbeddingTables() map[int]int { return m.enc.EmbeddingTables() }

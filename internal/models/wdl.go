@@ -94,3 +94,14 @@ func (m *WDL) Parameters() []*autograd.Tensor {
 
 // Name implements Model.
 func (m *WDL) Name() string { return "WDL" }
+
+// EmbeddingTables implements EmbeddingTabler: the encoder's tables plus
+// the per-field wide tables (vocab x 1) that follow them.
+func (m *WDL) EmbeddingTables() map[int]int {
+	tables := m.enc.EmbeddingTables()
+	base := len(m.enc.Parameters())
+	for f := range m.wideEmbs {
+		tables[base+f] = f
+	}
+	return tables
+}

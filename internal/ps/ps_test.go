@@ -9,6 +9,7 @@ import (
 	"mamdr/internal/data"
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
+	"mamdr/internal/paramvec"
 	"mamdr/internal/synth"
 )
 
@@ -33,16 +34,46 @@ func replicaFactory(ds *data.Dataset) func() models.Model {
 
 func TestLayoutOf(t *testing.T) {
 	params := []*autograd.Tensor{
-		autograd.ParamZeros(500, 4), // embedding-like
-		autograd.ParamZeros(10, 8),  // dense
+		autograd.ParamZeros(500, 4), // embedding table for field 0
+		autograd.ParamZeros(96, 8),  // wide dense matrix — must stay dense
 		autograd.ParamZeros(1, 8),   // dense
 	}
-	l := LayoutOf(params, 64)
+	l := LayoutOf(params, map[int]int{0: 0})
 	if !l.Embedding[0] || l.Embedding[1] || l.Embedding[2] {
 		t.Fatalf("embedding flags = %v", l.Embedding)
 	}
+	if l.Field[0] != 0 || l.Field[1] != -1 || l.Field[2] != -1 {
+		t.Fatalf("field mapping = %v", l.Field)
+	}
 	if l.NumTensors() != 3 || l.Rows[0] != 500 || l.Cols[0] != 4 {
 		t.Fatal("layout shapes wrong")
+	}
+	if err := l.Validate(6); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+}
+
+func TestLayoutValidateCatchesUnreachableTensors(t *testing.T) {
+	params := []*autograd.Tensor{autograd.ParamZeros(100, 4)}
+	l := LayoutOf(params, map[int]int{0: 0})
+
+	// Embedding without a field is reachable by neither sync path.
+	broken := l
+	broken.Field = []int{-1}
+	if err := broken.Validate(-1); err == nil {
+		t.Fatal("embedding tensor without a field passed validation")
+	}
+
+	// A field beyond the schema cannot be resolved by workers.
+	if err := l.Validate(0); err == nil {
+		t.Fatal("out-of-schema field passed validation")
+	}
+
+	// Dense tensors must not name a field.
+	dbl := LayoutOf(params, nil)
+	dbl.Field = []int{2}
+	if err := dbl.Validate(-1); err == nil {
+		t.Fatal("dense tensor with a field passed validation")
 	}
 }
 
@@ -51,7 +82,7 @@ func TestServerPullDenseExcludesEmbeddings(t *testing.T) {
 		autograd.ParamZeros(500, 4),
 		autograd.Param(2, 2, []float64{1, 2, 3, 4}),
 	}
-	s := NewServer(params, 64, 2, "sgd", 1)
+	s := NewServer(params, map[int]int{0: 0}, 2, "sgd", 1)
 	dense := s.PullDense()
 	if _, has := dense[0]; has {
 		t.Fatal("embedding tensor returned by PullDense")
@@ -63,7 +94,7 @@ func TestServerPullDenseExcludesEmbeddings(t *testing.T) {
 
 func TestServerPullRowsLatestValues(t *testing.T) {
 	params := []*autograd.Tensor{autograd.ParamZeros(100, 2)}
-	s := NewServer(params, 64, 1, "sgd", 1)
+	s := NewServer(params, map[int]int{0: 0}, 1, "sgd", 1)
 	s.PushDelta(Delta{
 		Rows:      map[int][]int{0: {7}},
 		RowDeltas: map[int][][]float64{0: {{1.5, -2}}},
@@ -78,7 +109,7 @@ func TestServerPullRowsLatestValues(t *testing.T) {
 }
 
 func TestServerPullRowsOnDensePanics(t *testing.T) {
-	s := NewServer([]*autograd.Tensor{autograd.ParamZeros(2, 2)}, 64, 1, "sgd", 1)
+	s := NewServer([]*autograd.Tensor{autograd.ParamZeros(2, 2)}, nil, 1, "sgd", 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
@@ -89,7 +120,7 @@ func TestServerPullRowsOnDensePanics(t *testing.T) {
 
 func TestServerOuterUpdateAppliesBeta(t *testing.T) {
 	params := []*autograd.Tensor{autograd.Param(1, 2, []float64{0, 0})}
-	s := NewServer(params, 64, 1, "sgd", 0.5)
+	s := NewServer(params, nil, 1, "sgd", 0.5)
 	s.PushDelta(Delta{Dense: map[int][]float64{0: {2, -4}}})
 	snap := s.Snapshot()
 	// Eq. 3: θ += β * delta = 0.5 * [2, -4].
@@ -100,7 +131,7 @@ func TestServerOuterUpdateAppliesBeta(t *testing.T) {
 
 func TestServerAdagradStatePersistsAcrossPushes(t *testing.T) {
 	params := []*autograd.Tensor{autograd.Param(1, 1, []float64{0})}
-	s := NewServer(params, 64, 1, "adagrad", 1)
+	s := NewServer(params, nil, 1, "adagrad", 1)
 	s.PushDelta(Delta{Dense: map[int][]float64{0: {1}}})
 	v1 := s.Snapshot()[0][0]
 	s.PushDelta(Delta{Dense: map[int][]float64{0: {1}}})
@@ -112,7 +143,7 @@ func TestServerAdagradStatePersistsAcrossPushes(t *testing.T) {
 
 func TestCountersTally(t *testing.T) {
 	params := []*autograd.Tensor{autograd.ParamZeros(100, 2), autograd.ParamZeros(1, 3)}
-	s := NewServer(params, 64, 1, "sgd", 1)
+	s := NewServer(params, map[int]int{0: 0}, 1, "sgd", 1)
 	s.PullDense()
 	s.PullRows(0, []int{1, 2, 3})
 	s.PushDelta(Delta{Dense: map[int][]float64{1: {0, 0, 0}}})
@@ -125,10 +156,31 @@ func TestCountersTally(t *testing.T) {
 	}
 }
 
+func TestDensePushCounterIgnoresRowOnlyAndEmptyPushes(t *testing.T) {
+	params := []*autograd.Tensor{autograd.ParamZeros(100, 2), autograd.ParamZeros(1, 3)}
+	s := NewServer(params, map[int]int{0: 0}, 1, "sgd", 1)
+
+	// A push carrying only embedding rows must not count as a dense push.
+	s.PushDelta(Delta{
+		Rows:      map[int][]int{0: {5}},
+		RowDeltas: map[int][][]float64{0: {{1, 1}}},
+	})
+	// Neither must an empty push.
+	s.PushDelta(Delta{})
+	if c := s.Counters(); c.DensePushes != 0 {
+		t.Fatalf("row-only/empty pushes counted as dense: %+v", c)
+	}
+
+	s.PushDelta(Delta{Dense: map[int][]float64{1: {0, 0, 0}}})
+	if c := s.Counters(); c.DensePushes != 1 || c.RowPushes != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
 func TestDistributedTrainingLearns(t *testing.T) {
 	ds := testDataset(t)
 	res := Train(replicaFactory(ds), ds, Options{
-		Workers: 2, Epochs: 20, Seed: 9, CacheEnabled: true, EmbRowThreshold: 40,
+		Workers: 2, Epochs: 20, Seed: 9, CacheEnabled: true,
 	})
 	auc := framework.MeanAUC(res.State, ds, data.Test)
 	if auc < 0.55 {
@@ -166,7 +218,7 @@ func TestDistributedWithDRPopulatesSpecifics(t *testing.T) {
 
 func TestCacheReducesSyncOverhead(t *testing.T) {
 	ds := testDataset(t)
-	opts := Options{Workers: 2, Epochs: 2, Seed: 9, EmbRowThreshold: 40}
+	opts := Options{Workers: 2, Epochs: 2, Seed: 9}
 
 	optsOn := opts
 	optsOn.CacheEnabled = true
@@ -194,7 +246,7 @@ func TestWorkerCountCappedByDomains(t *testing.T) {
 
 func TestConcurrentPushesAreSafe(t *testing.T) {
 	params := []*autograd.Tensor{autograd.ParamZeros(200, 4), autograd.ParamZeros(4, 4)}
-	s := NewServer(params, 64, 2, "sgd", 0.1)
+	s := NewServer(params, map[int]int{0: 0}, 2, "sgd", 0.1)
 	done := make(chan struct{})
 	for w := 0; w < 8; w++ {
 		go func(w int) {
@@ -224,7 +276,10 @@ func TestRPCTransportEndToEnd(t *testing.T) {
 	ds := testDataset(t)
 	factory := replicaFactory(ds)
 	serving := factory()
-	server := NewServer(serving.Parameters(), 64, 2, "adagrad", 0.5)
+	// Adagrad's first steps move each coordinate by the full learning
+	// rate regardless of delta magnitude, so the outer rate stays at the
+	// low end of the paper's industrial range [0.1, 1].
+	server := NewServer(serving.Parameters(), models.EmbeddingTablesOf(serving), 2, "adagrad", 0.1)
 
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -244,7 +299,7 @@ func TestRPCTransportEndToEnd(t *testing.T) {
 	}
 
 	res := TrainWithStore(factory, serving, client, client, ds, Options{
-		Workers: 2, Epochs: 3, Seed: 9, CacheEnabled: true,
+		Workers: 2, Epochs: 10, Seed: 9, CacheEnabled: true,
 	})
 	auc := framework.MeanAUC(res.State, ds, data.Test)
 	if auc < 0.52 {
@@ -259,4 +314,69 @@ func TestRPCDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1"); err == nil {
 		t.Fatal("expected dial error")
 	}
+}
+
+// TestWideMLPSyncsAllTensors is the regression test for the silent
+// desync of large dense tensors: an MLP whose first hidden layer has
+// numFields x embDim >= 64 input rows (here 6 x 16 = 96) used to be
+// classified as an embedding table by the old row-count heuristic,
+// while the worker had no row mapping for it — so the layer was never
+// pulled from nor pushed to the PS, and the serving snapshot kept its
+// initial values. With the explicit embedding mask every managed tensor
+// must move during training and distributed DN must track
+// single-process DN within tolerance.
+func TestWideMLPSyncsAllTensors(t *testing.T) {
+	ds := testDataset(t)
+	factory := func() models.Model {
+		return models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 16, Hidden: []int{32, 16}, Seed: 5})
+	}
+	probe := factory()
+	init := paramvec.Snapshot(probe.Parameters())
+	layout := LayoutOf(probe.Parameters(), models.EmbeddingTablesOf(probe))
+
+	res := Train(factory, ds, Options{Workers: 2, Epochs: 20, Seed: 9, CacheEnabled: true})
+
+	// Every managed tensor — dense or embedding — must have moved away
+	// from initialization in the PS snapshot.
+	for i := range init {
+		var diff float64
+		for j := range init[i] {
+			d := res.State.Shared[i][j] - init[i][j]
+			diff += d * d
+		}
+		if diff == 0 {
+			t.Errorf("tensor %d (%dx%d, embedding=%v) never synchronized: snapshot equals initialization",
+				i, layout.Rows[i], layout.Cols[i], layout.Embedding[i])
+		}
+	}
+
+	// Distributed DN must be in the same quality regime as
+	// single-process DN; with the first MLP layer desynced it collapses
+	// toward chance.
+	single := framework.MustNew("dn").Fit(factory(), ds, framework.Config{
+		Epochs: 20, BatchSize: 64, Seed: 9,
+	})
+	singleAUC := framework.MeanAUC(single, ds, data.Test)
+	distAUC := framework.MeanAUC(res.State, ds, data.Test)
+	t.Logf("wide-MLP AUC: distributed %.4f vs single-process %.4f", distAUC, singleAUC)
+	if distAUC < singleAUC-0.05 {
+		t.Fatalf("distributed DN diverged from single-process DN: %.4f vs %.4f", distAUC, singleAUC)
+	}
+}
+
+// TestWorkerLayoutMismatchPanics ensures a store whose layout does not
+// align with the replica is rejected loudly instead of desyncing.
+func TestWorkerLayoutMismatchPanics(t *testing.T) {
+	ds := testDataset(t)
+	serving := replicaFactory(ds)()
+	store := NewServer(serving.Parameters(), models.EmbeddingTablesOf(serving), 1, "sgd", 0.5)
+
+	// A structurally different replica (wider hidden layers).
+	other := models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{24, 8}, Seed: 5})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on layout/replica mismatch")
+		}
+	}()
+	NewWorker(0, other, ds, []int{0}, store, true)
 }

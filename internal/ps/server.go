@@ -21,32 +21,83 @@ import (
 )
 
 // Layout describes the parameter tensors managed by a server: their
-// shapes and which of them are treated as sparse embedding tables
-// (synchronized row-wise) versus dense tensors (synchronized whole).
+// shapes, which of them are treated as sparse embedding tables
+// (synchronized row-wise) versus dense tensors (synchronized whole),
+// and for each embedding table the schema field whose ids index its
+// rows.
 type Layout struct {
 	Rows, Cols []int
 	Embedding  []bool
+	// Field[t] is the schema field served by embedding tensor t, or -1
+	// for dense tensors. Workers use it to find the batch ids that touch
+	// the table's rows, so the association is explicit rather than
+	// positional.
+	Field []int
 }
 
-// LayoutOf derives a layout from model parameters: any tensor with at
-// least embRowThreshold rows is synchronized row-wise as an embedding
-// table.
-func LayoutOf(params []*autograd.Tensor, embRowThreshold int) Layout {
+// LayoutOf derives a layout from model parameters and an explicit
+// embedding classification: tables maps parameter indices to the schema
+// field whose ids index their rows (models.EmbeddingTablesOf supplies
+// it). Every tensor not named in tables is synchronized densely.
+//
+// Earlier revisions classified any tensor with >= N rows as an
+// embedding table, which silently excluded wide dense matrices (a first
+// MLP layer with numFields x embDim >= N input rows, attention
+// projections, ...) from both dense and row synchronization — those
+// layers trained on stale per-worker replicas and snapshots returned
+// their initial values. The explicit mask makes that impossible, and
+// Validate cross-checks it.
+func LayoutOf(params []*autograd.Tensor, tables map[int]int) Layout {
 	l := Layout{
 		Rows:      make([]int, len(params)),
 		Cols:      make([]int, len(params)),
 		Embedding: make([]bool, len(params)),
+		Field:     make([]int, len(params)),
 	}
 	for i, p := range params {
 		l.Rows[i] = p.Rows
 		l.Cols[i] = p.Cols
-		l.Embedding[i] = p.Rows >= embRowThreshold
+		l.Field[i] = -1
+		if f, ok := tables[i]; ok {
+			l.Embedding[i] = true
+			l.Field[i] = f
+		}
 	}
 	return l
 }
 
 // NumTensors returns the number of managed tensors.
 func (l Layout) NumTensors() int { return len(l.Rows) }
+
+// Validate cross-checks that every managed tensor is reachable by
+// exactly one synchronization path: dense tensors are pulled and pushed
+// whole by PullDense/PushDelta, and embedding tensors carry a
+// non-negative field so workers can resolve which rows a batch touches.
+// numFields bounds the field indices; pass a negative value to skip
+// that check (e.g. when the dataset schema is not at hand).
+func (l Layout) Validate(numFields int) error {
+	n := len(l.Rows)
+	if len(l.Cols) != n || len(l.Embedding) != n || len(l.Field) != n {
+		return fmt.Errorf("ps: layout slices misaligned: rows=%d cols=%d embedding=%d field=%d",
+			n, len(l.Cols), len(l.Embedding), len(l.Field))
+	}
+	for t := 0; t < n; t++ {
+		if l.Rows[t] <= 0 || l.Cols[t] <= 0 {
+			return fmt.Errorf("ps: tensor %d has degenerate shape %dx%d", t, l.Rows[t], l.Cols[t])
+		}
+		if l.Embedding[t] {
+			if l.Field[t] < 0 {
+				return fmt.Errorf("ps: tensor %d is row-synced but names no field: unreachable by any sync path", t)
+			}
+			if numFields >= 0 && l.Field[t] >= numFields {
+				return fmt.Errorf("ps: tensor %d maps to field %d, schema has %d fields", t, l.Field[t], numFields)
+			}
+		} else if l.Field[t] >= 0 {
+			return fmt.Errorf("ps: dense tensor %d names field %d (would be double-synced)", t, l.Field[t])
+		}
+	}
+	return nil
+}
 
 // Counters tallies parameter-server traffic; FloatsMoved is the
 // synchronization-overhead metric reported by the cache experiments.
@@ -111,14 +162,23 @@ type shard struct {
 }
 
 // NewServer builds a server over the given initial parameters, sharded
-// numShards ways. outerOpt ("sgd", "adagrad", "adam") with learning rate
-// beta performs the outer update of Eq. 3.
-func NewServer(params []*autograd.Tensor, embRowThreshold, numShards int, outerOpt string, beta float64) *Server {
+// numShards ways. tables is the explicit embedding classification
+// (parameter index -> schema field; models.EmbeddingTablesOf supplies
+// it — nil means everything syncs densely). outerOpt ("sgd", "adagrad",
+// "adam") with learning rate beta performs the outer update of Eq. 3.
+// NewServer panics if the resulting layout fails Validate — a tensor
+// unreachable by both sync paths is a silent-desync bug, not a
+// recoverable condition.
+func NewServer(params []*autograd.Tensor, tables map[int]int, numShards int, outerOpt string, beta float64) *Server {
 	if numShards < 1 {
 		numShards = 1
 	}
+	layout := LayoutOf(params, tables)
+	if err := layout.Validate(-1); err != nil {
+		panic(err)
+	}
 	s := &Server{
-		layout:  LayoutOf(params, embRowThreshold),
+		layout:  layout,
 		shardOf: make([]int, len(params)),
 	}
 	for i := 0; i < numShards; i++ {
@@ -178,7 +238,13 @@ func (s *Server) PullRows(tensor int, rows []int) [][]float64 {
 // PushDelta implements Store. Dense tensors go through the shard's outer
 // optimizer (gradient = -delta); embedding rows are updated with plain
 // SGD at the outer learning rate, the standard choice for sparse slots.
+// DensePushes counts only pushes that actually carry dense deltas, so
+// the synchronization-overhead experiment is not inflated by row-only
+// or empty pushes.
 func (s *Server) PushDelta(d Delta) {
+	if len(d.Dense) > 0 {
+		atomic.AddInt64(&s.counters.densePushes, 1)
+	}
 	for t, delta := range d.Dense {
 		sh := s.shards[s.shardOf[t]]
 		sh.mu.Lock()
@@ -205,7 +271,6 @@ func (s *Server) PushDelta(d Delta) {
 		atomic.AddInt64(&s.counters.rowPushes, int64(len(rows)))
 		atomic.AddInt64(&s.counters.floats, int64(len(rows)*cols))
 	}
-	atomic.AddInt64(&s.counters.densePushes, 1)
 }
 
 // Counters implements Store.

@@ -6,6 +6,7 @@ import (
 
 	"mamdr/internal/data"
 	"mamdr/internal/framework"
+	"mamdr/internal/models"
 )
 
 // staleStore wraps a Server and serves parameter reads from a delayed
@@ -102,11 +103,11 @@ func TestTrainingToleratesStaleReads(t *testing.T) {
 	ds := testDataset(t)
 	factory := replicaFactory(ds)
 	serving := factory()
-	server := NewServer(serving.Parameters(), 40, 2, "sgd", 0.5)
+	server := NewServer(serving.Parameters(), models.EmbeddingTablesOf(serving), 2, "sgd", 0.5)
 	store := newStaleStore(server, 3)
 
 	res := TrainWithStore(factory, serving, store, store, ds, Options{
-		Workers: 2, Epochs: 20, Seed: 9, CacheEnabled: true, EmbRowThreshold: 40,
+		Workers: 2, Epochs: 20, Seed: 9, CacheEnabled: true,
 	})
 	auc := framework.MeanAUC(res.State, ds, data.Test)
 	if auc < 0.53 {
@@ -119,7 +120,7 @@ func TestTrainingToleratesStaleReads(t *testing.T) {
 func TestStaleStoreActuallyLags(t *testing.T) {
 	ds := testDataset(t)
 	serving := replicaFactory(ds)()
-	server := NewServer(serving.Parameters(), 40, 1, "sgd", 1)
+	server := NewServer(serving.Parameters(), models.EmbeddingTablesOf(serving), 1, "sgd", 1)
 	store := newStaleStore(server, 2)
 
 	// Find a dense tensor index.

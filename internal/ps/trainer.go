@@ -19,9 +19,6 @@ type Options struct {
 	// Shards is the number of parameter-server shards (the paper's 40
 	// parameter servers).
 	Shards int
-	// EmbRowThreshold marks tensors with at least this many rows as
-	// sparse embedding tables.
-	EmbRowThreshold int
 	// CacheEnabled toggles the embedding PS-Worker cache of §IV-E.
 	CacheEnabled bool
 	// OuterOpt/OuterLR configure the PS-side outer update (the paper's
@@ -51,9 +48,6 @@ func (o Options) WithDefaults() Options {
 	}
 	if o.Shards == 0 {
 		o.Shards = 4
-	}
-	if o.EmbRowThreshold == 0 {
-		o.EmbRowThreshold = 64
 	}
 	if o.OuterOpt == "" {
 		o.OuterOpt = "sgd"
@@ -100,7 +94,10 @@ type Result struct {
 func Train(replica func() models.Model, ds *data.Dataset, opts Options) *Result {
 	opts = opts.WithDefaults()
 	serving := replica()
-	server := NewServer(serving.Parameters(), opts.EmbRowThreshold, opts.Shards, opts.OuterOpt, opts.OuterLR)
+	// The model declares which of its tensors are embedding tables;
+	// everything else synchronizes densely. No row-count guessing.
+	tables := models.EmbeddingTablesOf(serving)
+	server := NewServer(serving.Parameters(), tables, opts.Shards, opts.OuterOpt, opts.OuterLR)
 	return TrainWithStore(replica, serving, server, server, ds, opts)
 }
 

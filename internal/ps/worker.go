@@ -1,7 +1,9 @@
 package ps
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"mamdr/internal/autograd"
 	"mamdr/internal/data"
@@ -50,14 +52,43 @@ type Worker struct {
 	dynamicRows map[int]map[int]bool
 }
 
-// NewWorker builds a worker over a model replica.
+// NewWorker builds a worker over a model replica. It panics if the
+// store's layout does not align with the replica's parameters or names
+// fields the dataset schema does not have — a mismatch here means some
+// tensor would silently never synchronize.
 func NewWorker(id int, m models.Model, ds *data.Dataset, domains []int, store Store, cache bool) *Worker {
-	return &Worker{
+	w := &Worker{
 		ID: id, Model: m, Dataset: ds, Domains: domains, Store: store,
 		CacheEnabled: cache,
 		InnerOpt:     "sgd", InnerLR: 0.1,
 		BatchSize: 64,
 		params:    m.Parameters(),
+	}
+	w.verifyLayout()
+	return w
+}
+
+// verifyLayout cross-checks the store's layout against the replica: the
+// tensor list must align shape for shape, and every embedding tensor's
+// field must exist in the dataset schema. Together with Layout.Validate
+// on the server side this guarantees each tensor is reachable by either
+// dense or row synchronization.
+func (w *Worker) verifyLayout() {
+	layout := w.Store.Layout()
+	if layout.NumTensors() != len(w.params) {
+		panic(fmt.Sprintf("ps: worker %d: store manages %d tensors, replica has %d",
+			w.ID, layout.NumTensors(), len(w.params)))
+	}
+	numFields := w.Dataset.Schema.NumFields()
+	for t, p := range w.params {
+		if layout.Rows[t] != p.Rows || layout.Cols[t] != p.Cols {
+			panic(fmt.Sprintf("ps: worker %d: tensor %d is %dx%d on the store, %dx%d on the replica",
+				w.ID, t, layout.Rows[t], layout.Cols[t], p.Rows, p.Cols))
+		}
+		if layout.Embedding[t] && layout.Field[t] >= numFields {
+			panic(fmt.Sprintf("ps: worker %d: tensor %d maps to field %d, schema has %d fields",
+				w.ID, t, layout.Field[t], numFields))
+		}
 	}
 }
 
@@ -122,7 +153,7 @@ func (w *Worker) resolveEmbeddingRows(b *data.Batch) {
 		if !layout.Embedding[t] {
 			continue
 		}
-		rows := w.rowsTouchedBy(b, t)
+		rows := w.rowsTouchedBy(b, t, layout.Field[t])
 		if len(rows) == 0 {
 			continue
 		}
@@ -149,25 +180,13 @@ func (w *Worker) resolveEmbeddingRows(b *data.Batch) {
 	}
 }
 
-// rowsTouchedBy returns the distinct rows of embedding tensor t that the
-// batch will gather. Tensor-to-field association is positional: the
-// encoder's embedding tables appear first in Parameters() in field
-// order, which LayoutOf identifies by their row counts matching the
-// field vocabularies.
-func (w *Worker) rowsTouchedBy(b *data.Batch, t int) []int {
+// rowsTouchedBy returns the distinct rows of embedding tensor t that
+// the batch will gather. The tensor-to-field association comes from the
+// layout's explicit Field mapping (declared by the model through
+// models.EmbeddingTabler), not from the tensor's position or row count.
+func (w *Worker) rowsTouchedBy(b *data.Batch, t, field int) []int {
 	p := w.params[t]
-	if w.Dataset.HasFixedFeatures() {
-		return nil // frozen features never sync
-	}
-	// Models built on the shared Encoder expose the per-field embedding
-	// tables as the first NumFields() parameters in schema order, so
-	// tensor t (< NumFields) serves field t. Tables for tiny
-	// vocabularies fall below the embedding row threshold and are
-	// synchronized densely instead, so they never reach this point.
-	if t >= w.Dataset.Schema.NumFields() {
-		return nil
-	}
-	ids := b.FieldValues[t]
+	ids := b.FieldValues[field]
 	seen := make(map[int]bool, len(ids))
 	var rows []int
 	for _, id := range ids {
@@ -186,12 +205,20 @@ func (w *Worker) pushDelta() {
 	d := Delta{Dense: map[int][]float64{}, Rows: map[int][]int{}, RowDeltas: map[int][][]float64{}}
 	for t, p := range w.params {
 		if layout.Embedding[t] {
-			rows := w.dynamicRows[t]
-			if len(rows) == 0 {
+			if len(w.dynamicRows[t]) == 0 {
 				continue
 			}
+			// Push rows in sorted order: map iteration order is random,
+			// and the server applies row updates sequentially per shard,
+			// so a deterministic order keeps distributed runs
+			// reproducible under a fixed seed.
+			rows := make([]int, 0, len(w.dynamicRows[t]))
+			for r := range w.dynamicRows[t] {
+				rows = append(rows, r)
+			}
+			sort.Ints(rows)
 			cols := p.Cols
-			for r := range rows {
+			for _, r := range rows {
 				static := w.staticRows[t][r]
 				delta := make([]float64, cols)
 				for j := 0; j < cols; j++ {

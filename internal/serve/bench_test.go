@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"mamdr/internal/core"
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/synth"
+)
+
+// legacyServer replicates the seed serving path this package shipped
+// with: one global mutex around every request and a full parameter
+// composition (clone + axpy) plus a snapshot/restore pair per request
+// via core.State.Predict. It exists only as the benchmark baseline.
+type legacyServer struct {
+	mu      sync.Mutex
+	state   *core.State
+	dataset *data.Dataset
+}
+
+func (s *legacyServer) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ins := make([]data.Interaction, len(req.Users))
+	for i := range req.Users {
+		ins[i] = data.Interaction{User: req.Users[i], Item: req.Items[i]}
+	}
+	probs := s.state.Predict(s.dataset.MakeBatch(req.Domain, ins))
+	writeJSON(w, PredictResponse{Probabilities: probs})
+}
+
+func benchState(b *testing.B) (*core.State, *data.Dataset, func() models.Model) {
+	b.Helper()
+	ds := synth.Generate(synth.Config{
+		Name: "serve-bench", Seed: 71, ConflictStrength: 0.5,
+		Domains: []synth.DomainSpec{
+			{Name: "a", Samples: 600, CTRRatio: 0.3},
+			{Name: "b", Samples: 400, CTRRatio: 0.4},
+			{Name: "c", Samples: 300, CTRRatio: 0.35},
+		},
+	})
+	factory := func() models.Model {
+		return models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 32, Hidden: []int{64, 32}, Seed: 5})
+	}
+	st := framework.MustNew("mamdr").Fit(factory(), ds, framework.Config{
+		Epochs: 1, BatchSize: 64, Seed: 9,
+	}).(*core.State)
+	return st, ds, factory
+}
+
+// BenchmarkServeThroughput compares the seed global-mutex serving path
+// against the replica-pool server at 8 concurrent clients. Run with:
+//
+//	go test ./internal/serve -bench ServeThroughput -benchtime 2s
+func BenchmarkServeThroughput(b *testing.B) {
+	st, ds, factory := benchState(b)
+	body, err := json.Marshal(PredictRequest{Domain: 1, Users: []int{0, 1, 2, 3}, Items: []int{1, 0, 2, 3}})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	drive := func(b *testing.B, h http.Handler) {
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("predict = %d: %s", w.Code, w.Body)
+				}
+			}
+		})
+	}
+
+	b.Run("seed-global-mutex", func(b *testing.B) {
+		legacy := &legacyServer{state: st, dataset: ds}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/predict", legacy.handlePredict)
+		drive(b, mux)
+	})
+
+	b.Run("replica-pool", func(b *testing.B) {
+		srv := NewWithOptions(st, ds, Options{Replicas: 8, ReplicaFactory: factory})
+		drive(b, srv.Handler())
+	})
+}

@@ -3,32 +3,194 @@
 // for click probabilities of user-item pairs under a given domain, and
 // new domains can be registered at runtime (they serve with the shared
 // parameters until their specific parameters are trained).
+//
+// The server is built for concurrent traffic. Serving parameters for
+// every domain (θ_S + θ_i, Eq. 4) are precomposed into an immutable
+// snapshot that requests read through an atomic pointer — no global
+// lock and no per-request parameter composition. Forward passes run on
+// a pool of model replicas, so predictions for different requests
+// proceed concurrently. Domain registration and state swaps build a
+// fresh snapshot and publish it atomically; in-flight requests keep
+// serving the snapshot they started with.
 package serve
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"mamdr/internal/autograd"
 	"mamdr/internal/core"
 	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/paramvec"
 )
 
-// Server serves predictions from a MAMDR state. All handlers are safe
-// for concurrent use; prediction swaps domain parameters in and out of
-// the model, so calls are serialized by a mutex (models are cheap to
-// replicate if more throughput is needed — one Server per replica).
-type Server struct {
-	mu      sync.Mutex
-	state   *core.State
-	dataset *data.Dataset
+// Options configures the serving path.
+type Options struct {
+	// Replicas is the model-replica pool size; each in-flight prediction
+	// holds one replica for the duration of its forward pass. Defaults
+	// to GOMAXPROCS. Without a ReplicaFactory the pool holds only the
+	// state's own model, so Replicas is forced to 1.
+	Replicas int
+	// ReplicaFactory builds additional model replicas structurally
+	// identical to the state's model (same Config including Seed).
+	ReplicaFactory func() models.Model
+	// RequestTimeout bounds how long a prediction waits for a free
+	// replica before returning 503. Default 5s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps the request body size. Default 1 MiB.
+	MaxBodyBytes int64
 }
 
-// New builds a server over a trained state and its dataset (the dataset
-// supplies the global feature storage needed to resolve field values).
+func (o Options) withDefaults() Options {
+	if o.Replicas <= 0 {
+		o.Replicas = runtime.GOMAXPROCS(0)
+	}
+	if o.ReplicaFactory == nil {
+		o.Replicas = 1
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	return o
+}
+
+// snapshot is the immutable view predictions serve from. A new one is
+// published wholesale on every state mutation; the composed vectors are
+// never written after publication, so any number of replicas may
+// restore from them concurrently.
+type snapshot struct {
+	// composed[d] is θ_S + θ_d (Eq. 4), ready to load into a replica.
+	composed []paramvec.Vector
+	names    []string
+}
+
+// replica is one pooled model instance. Its tensors are owned
+// exclusively by the request currently holding it.
+type replica struct {
+	model  models.Model
+	params []*autograd.Tensor
+}
+
+// Server serves predictions from a MAMDR state. All handlers are safe
+// for concurrent use.
+type Server struct {
+	dataset *data.Dataset
+	opts    Options
+
+	// mu serializes state mutations (AddDomain, SwapState). Reads never
+	// take it: they load snap.
+	mu    sync.Mutex
+	state *core.State
+
+	snap atomic.Pointer[snapshot]
+	pool chan *replica
+}
+
+// New builds a server over a trained state and its dataset with default
+// options (single replica, 5s request timeout, 1 MiB bodies). The
+// dataset supplies the global feature storage needed to resolve field
+// values.
 func New(state *core.State, dataset *data.Dataset) *Server {
-	return &Server{state: state, dataset: dataset}
+	return NewWithOptions(state, dataset, Options{})
+}
+
+// NewWithOptions builds a server with explicit concurrency options. It
+// panics if a factory-built replica's parameters do not align with the
+// state's shared vector — a mismatched replica would serve garbage.
+func NewWithOptions(state *core.State, dataset *data.Dataset, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		dataset: dataset,
+		opts:    opts,
+		state:   state,
+		pool:    make(chan *replica, opts.Replicas),
+	}
+	s.pool <- &replica{model: state.Model, params: state.Model.Parameters()}
+	for i := 1; i < opts.Replicas; i++ {
+		m := opts.ReplicaFactory()
+		params := m.Parameters()
+		if len(params) != len(state.Shared) {
+			panic(fmt.Sprintf("serve: replica %d has %d tensors, state has %d", i, len(params), len(state.Shared)))
+		}
+		for t, p := range params {
+			if len(p.Data) != len(state.Shared[t]) {
+				panic(fmt.Sprintf("serve: replica %d tensor %d has %d entries, state has %d",
+					i, t, len(p.Data), len(state.Shared[t])))
+			}
+		}
+		s.pool <- &replica{model: m, params: params}
+	}
+	s.snap.Store(s.compose())
+	return s
+}
+
+// compose precomposes every domain's serving parameters from the
+// current state. Callers must hold mu (or be the constructor).
+func (s *Server) compose() *snapshot {
+	snap := &snapshot{
+		composed: make([]paramvec.Vector, len(s.state.Specific)),
+		names:    make([]string, len(s.state.Specific)),
+	}
+	for d := range s.state.Specific {
+		snap.composed[d] = s.state.ComposedFor(d)
+		if d < len(s.dataset.Domains) {
+			snap.names[d] = s.dataset.Domains[d].Name
+		} else {
+			snap.names[d] = fmt.Sprintf("runtime-%d", d)
+		}
+	}
+	return snap
+}
+
+// AddDomain registers a new domain at runtime and publishes a snapshot
+// that serves it with the shared parameters (its specific vector starts
+// at zero). It returns the new domain id.
+func (s *Server) AddDomain() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.state.AddDomain()
+	// Only the new domain's composition is missing; existing composed
+	// vectors are immutable and carried over.
+	old := s.snap.Load()
+	snap := &snapshot{
+		composed: append(old.composed[:len(old.composed):len(old.composed)], s.state.ComposedFor(id)),
+		names:    append(old.names[:len(old.names):len(old.names)], fmt.Sprintf("runtime-%d", id)),
+	}
+	s.snap.Store(snap)
+	return id
+}
+
+// SwapState replaces the served state wholesale (e.g. after a new
+// training run) and recomposes every domain. The new state's model must
+// be structurally identical to the pool replicas.
+func (s *Server) SwapState(state *core.State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(state.Shared) != len(s.state.Shared) {
+		return fmt.Errorf("serve: new state has %d tensors, old has %d", len(state.Shared), len(s.state.Shared))
+	}
+	for t := range state.Shared {
+		if len(state.Shared[t]) != len(s.state.Shared[t]) {
+			return fmt.Errorf("serve: new state tensor %d has %d entries, old has %d",
+				t, len(state.Shared[t]), len(s.state.Shared[t]))
+		}
+	}
+	s.state = state
+	s.snap.Store(s.compose())
+	return nil
 }
 
 // PredictRequest asks for click probabilities of user-item pairs in one
@@ -77,8 +239,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -91,9 +259,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if req.Domain < 0 || req.Domain >= len(s.state.Specific) {
+	snap := s.snap.Load()
+	if req.Domain < 0 || req.Domain >= len(snap.composed) {
 		http.Error(w, fmt.Sprintf("unknown domain %d", req.Domain), http.StatusNotFound)
 		return
 	}
@@ -109,34 +276,49 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		}
 		ins[i] = data.Interaction{User: req.Users[i], Item: req.Items[i]}
 	}
-	probs := s.state.Predict(s.dataset.MakeBatch(req.Domain, ins))
-	writeJSON(w, PredictResponse{Probabilities: probs})
+	batch := s.dataset.MakeBatch(req.Domain, ins)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	select {
+	case rep := <-s.pool:
+		probs := s.predictOn(rep, snap, req.Domain, batch)
+		s.pool <- rep
+		writeJSON(w, PredictResponse{Probabilities: probs})
+	case <-ctx.Done():
+		http.Error(w, "no model replica available", http.StatusServiceUnavailable)
+	}
+}
+
+// predictOn loads the domain's precomposed parameters into the replica
+// and runs the forward pass. The composed vector is read-only; the
+// replica's tensors are exclusively ours while it is out of the pool.
+func (s *Server) predictOn(rep *replica, snap *snapshot, domain int, b *data.Batch) []float64 {
+	paramvec.Restore(rep.params, snap.composed[domain])
+	return framework.SigmoidAll(rep.model.Forward(b, false))
 }
 
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch r.Method {
 	case http.MethodGet:
-		resp := DomainsResponse{NumDomains: len(s.state.Specific)}
-		for _, dom := range s.dataset.Domains {
-			resp.Names = append(resp.Names, dom.Name)
-		}
-		for i := len(resp.Names); i < resp.NumDomains; i++ {
-			resp.Names = append(resp.Names, fmt.Sprintf("runtime-%d", i))
-		}
-		writeJSON(w, resp)
+		snap := s.snap.Load()
+		writeJSON(w, DomainsResponse{NumDomains: len(snap.composed), Names: snap.names})
 	case http.MethodPost:
-		id := s.state.AddDomain()
-		writeJSON(w, AddDomainResponse{ID: id})
+		writeJSON(w, AddDomainResponse{ID: s.AddDomain()})
 	default:
 		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
 	}
 }
 
+// writeJSON encodes v into a buffer before touching the ResponseWriter,
+// so an encoding failure can still produce a clean 500 instead of a 200
+// header followed by a truncated body.
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }

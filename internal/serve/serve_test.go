@@ -15,7 +15,7 @@ import (
 	"mamdr/internal/synth"
 )
 
-func testServer(t *testing.T) (*Server, *data.Dataset) {
+func testState(t *testing.T) (*core.State, *data.Dataset, func() models.Model) {
 	t.Helper()
 	ds := synth.Generate(synth.Config{
 		Name: "serve-test", Seed: 61, ConflictStrength: 0.5,
@@ -24,8 +24,16 @@ func testServer(t *testing.T) (*Server, *data.Dataset) {
 			{Name: "b", Samples: 150, CTRRatio: 0.4},
 		},
 	})
-	m := models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{8}, Seed: 5})
-	st := framework.MustNew("mamdr").Fit(m, ds, framework.Config{Epochs: 1, BatchSize: 32, Seed: 9}).(*core.State)
+	factory := func() models.Model {
+		return models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{8}, Seed: 5})
+	}
+	st := framework.MustNew("mamdr").Fit(factory(), ds, framework.Config{Epochs: 1, BatchSize: 32, Seed: 9}).(*core.State)
+	return st, ds, factory
+}
+
+func testServer(t *testing.T) (*Server, *data.Dataset) {
+	t.Helper()
+	st, ds, _ := testState(t)
 	return New(st, ds), ds
 }
 
@@ -173,6 +181,105 @@ func TestDomainsListAndRegister(t *testing.T) {
 	}
 	if list2.NumDomains != 3 || list2.Names[2] != "runtime-2" {
 		t.Fatalf("after register: %+v", list2)
+	}
+}
+
+func TestPredictBodySizeLimit(t *testing.T) {
+	st, ds, _ := testState(t)
+	s := NewWithOptions(st, ds, Options{MaxBodyBytes: 64})
+	h := s.Handler()
+
+	big := PredictRequest{Domain: 0}
+	for i := 0; i < 64; i++ {
+		big.Users = append(big.Users, 0)
+		big.Items = append(big.Items, 0)
+	}
+	if w := postJSON(t, h, "/predict", big); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", w.Code)
+	}
+	// A request under the limit still works.
+	small := PredictRequest{Domain: 0, Users: []int{0}, Items: []int{0}}
+	if w := postJSON(t, h, "/predict", small); w.Code != http.StatusOK {
+		t.Fatalf("small body = %d: %s", w.Code, w.Body)
+	}
+}
+
+func TestReplicaPoolServesIdenticalScores(t *testing.T) {
+	st, ds, factory := testState(t)
+	single := New(st, ds)
+	pooled := NewWithOptions(st, ds, Options{Replicas: 4, ReplicaFactory: factory})
+
+	req := PredictRequest{Domain: 1, Users: []int{0, 1, 2}, Items: []int{2, 1, 0}}
+	get := func(h http.Handler) []float64 {
+		w := postJSON(t, h, "/predict", req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("predict = %d: %s", w.Code, w.Body)
+		}
+		var resp PredictResponse
+		if err := json.NewDecoder(w.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Probabilities
+	}
+	want := get(single.Handler())
+	h := pooled.Handler()
+	// Cycle through the pool several times: every replica must produce
+	// bit-identical scores from the same precomposed snapshot.
+	for i := 0; i < 12; i++ {
+		got := get(h)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("iteration %d: replica scores diverge: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestSwapState(t *testing.T) {
+	st, ds, factory := testState(t)
+	s := NewWithOptions(st, ds, Options{Replicas: 2, ReplicaFactory: factory})
+	h := s.Handler()
+
+	req := PredictRequest{Domain: 0, Users: []int{0, 1}, Items: []int{0, 1}}
+	before := postJSON(t, h, "/predict", req)
+
+	// Retrain to a different state and swap it in.
+	st2 := framework.MustNew("mamdr").Fit(factory(), ds, framework.Config{Epochs: 3, BatchSize: 32, Seed: 123}).(*core.State)
+	if err := s.SwapState(st2); err != nil {
+		t.Fatal(err)
+	}
+	after := postJSON(t, h, "/predict", req)
+	if after.Code != http.StatusOK {
+		t.Fatalf("predict after swap = %d: %s", after.Code, after.Body)
+	}
+	if before.Body.String() == after.Body.String() {
+		t.Fatal("swap did not change served scores")
+	}
+
+	// A structurally different state is rejected.
+	other := framework.MustNew("mamdr").Fit(
+		models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 8, Hidden: []int{8}, Seed: 5}),
+		ds, framework.Config{Epochs: 1, BatchSize: 32, Seed: 9}).(*core.State)
+	if err := s.SwapState(other); err == nil {
+		t.Fatal("mismatched state accepted")
+	}
+}
+
+func TestAddDomainKeepsOldSnapshotsImmutable(t *testing.T) {
+	st, ds, _ := testState(t)
+	s := New(st, ds)
+	h := s.Handler()
+
+	req := PredictRequest{Domain: 0, Users: []int{0, 1}, Items: []int{0, 1}}
+	before := postJSON(t, h, "/predict", req)
+	for i := 0; i < 3; i++ {
+		if id := s.AddDomain(); id != ds.NumDomains()+i {
+			t.Fatalf("AddDomain id = %d, want %d", id, ds.NumDomains()+i)
+		}
+	}
+	after := postJSON(t, h, "/predict", req)
+	if before.Body.String() != after.Body.String() {
+		t.Fatal("registering domains changed existing domains' scores")
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-serve check
+.PHONY: all build test vet race bench-serve bench-telemetry ci check
 
 all: check
 
@@ -20,5 +20,17 @@ race:
 
 bench-serve:
 	$(GO) test ./internal/serve -run xxx -bench ServeThroughput -benchtime 2s
+
+# Instrumented-vs-bare cost of the telemetry subsystem on the training
+# loop and the serving request path (budget: <5%).
+bench-telemetry:
+	$(GO) test ./internal/core -run xxx -bench TelemetryOverhead -benchtime 10x
+	$(GO) test ./internal/serve -run xxx -bench TelemetryOverhead -benchtime 2s
+
+# What CI runs (.github/workflows/ci.yml).
+ci:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 check: vet build test race

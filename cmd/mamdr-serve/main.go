@@ -6,19 +6,24 @@
 //	mamdr-serve -preset taobao-10 -epochs 10 -addr :8080
 //	curl -XPOST localhost:8080/predict -d '{"domain":0,"users":[1,2],"items":[3,4]}'
 //	curl -XPOST localhost:8080/domains          # register a new domain
+//	curl localhost:8080/metrics                 # Prometheus exposition
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"time"
 
 	"mamdr"
 	"mamdr/internal/core"
 	"mamdr/internal/models"
 	"mamdr/internal/serve"
+	"mamdr/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +40,10 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "model-replica pool size (0 = GOMAXPROCS)")
 		timeout    = flag.Duration("timeout", 5*time.Second, "per-request replica-acquisition timeout")
 		checkpoint = flag.String("checkpoint", "", "load a state saved with core.State.Save instead of training")
+
+		withMetrics = flag.Bool("metrics", true, "expose Prometheus /metrics and instrument the request path")
+		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		accessLog   = flag.String("access-log", "stderr", `structured JSON access log: "stderr", "stdout", a file path, or "off"`)
 	)
 	flag.Parse()
 
@@ -63,9 +72,21 @@ func main() {
 		log.Printf("trained %s on %s: mean test AUC %.4f", *model, ds.Name, res.MeanTestAUC)
 	}
 
+	var reg *telemetry.Registry
+	if *withMetrics {
+		reg = telemetry.New()
+		telemetry.RegisterGoRuntime(reg)
+	}
+	logger, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	srv := serve.NewWithOptions(state, ds, serve.Options{
 		Replicas:       *replicas,
 		RequestTimeout: *timeout,
+		Metrics:        reg,
+		AccessLog:      logger,
 		// Replicas mirror the trained model's structure (same Config,
 		// including Seed); their initial weights are irrelevant because
 		// every prediction restores a precomposed snapshot first.
@@ -73,15 +94,50 @@ func main() {
 			return models.MustNew(*model, models.Config{Dataset: ds, Seed: *seed})
 		},
 	})
+	handler := srv.Handler()
+	if *withPprof {
+		// Mount pprof explicitly instead of relying on the package's
+		// DefaultServeMux side effect, so it only exists behind the flag.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("pprof on /debug/pprof/")
+	}
 	fmt.Printf("serving %d domains on %s\n", ds.NumDomains(), *addr)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
 	log.Fatal(httpSrv.ListenAndServe())
+}
+
+// openAccessLog resolves the -access-log destination to a JSON slog
+// logger, or nil when disabled.
+func openAccessLog(dest string) (*slog.Logger, error) {
+	var w *os.File
+	switch dest {
+	case "", "off", "none":
+		return nil, nil
+	case "stderr":
+		w = os.Stderr
+	case "stdout":
+		w = os.Stdout
+	default:
+		f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("access log: %w", err)
+		}
+		w = f
+	}
+	return slog.New(slog.NewJSONHandler(w, nil)), nil
 }
 
 // pickEpochs trains minimally when a checkpoint will overwrite the

@@ -5,18 +5,27 @@
 //
 //	mamdr-train -preset taobao-10 -model mlp -framework mamdr -epochs 15
 //	mamdr-train -data my_dataset.json -model star -framework alternate
+//	mamdr-train -metrics-addr :9090 -events run.jsonl     # observability
+//	mamdr-train -ps-workers 4 -ps-shards 4                # distributed PS-Worker run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"mamdr"
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
+	"mamdr/internal/metrics"
+	"mamdr/internal/models"
+	"mamdr/internal/ps"
+	"mamdr/internal/telemetry"
 )
 
 func main() {
@@ -37,6 +46,14 @@ func main() {
 		sampleK  = flag.Int("k", 0, "DR helper-domain sample count (0 = default)")
 		embDim   = flag.Int("emb", 8, "embedding dimension")
 		seed     = flag.Int64("seed", 1, "random seed")
+
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address during training (e.g. :9090)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep /metrics up this long after training (for a final scrape)")
+		eventsPath    = flag.String("events", "", "append one JSONL event per epoch to this file")
+
+		psWorkers = flag.Int("ps-workers", 0, "run distributed PS-Worker training with this many workers (0 = single process; mamdr framework only)")
+		psShards  = flag.Int("ps-shards", 4, "parameter-server shard count for -ps-workers")
+		psCache   = flag.Bool("ps-cache", true, "enable the PS-Worker embedding cache (§IV-E) for -ps-workers")
 	)
 	flag.Parse()
 
@@ -56,32 +73,117 @@ func main() {
 		}
 	}
 
+	// Observability: a private registry exposed over HTTP plus an
+	// append-only JSONL event log. Both are optional and free when off.
+	var reg *telemetry.Registry
+	if *metricsAddr != "" {
+		reg = telemetry.New()
+		telemetry.RegisterGoRuntime(reg)
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() {
+			log.Printf("serving /metrics on %s", *metricsAddr)
+			srv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			if err := srv.ListenAndServe(); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+	var events *telemetry.EventLog
+	if *eventsPath != "" {
+		events, err = telemetry.OpenEventLog(*eventsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer events.Close()
+	}
+
 	fmt.Printf("dataset %s: %d domains, %d samples\n", ds.Name, ds.NumDomains(), ds.TotalSamples())
-	fmt.Printf("training %s with %s for %d epochs...\n", *model, *fw, *epochs)
 	start := time.Now()
-	res, err := mamdr.Train(mamdr.TrainSpec{
-		Dataset:   ds,
-		Model:     *model,
-		Framework: *fw,
-		Epochs:    *epochs,
-		BatchSize: *batch,
-		InnerLR:   *innerLR,
-		OuterLR:   *outerLR,
-		DRLR:      *drLR,
-		SampleK:   *sampleK,
-		EmbDim:    *embDim,
-		Seed:      *seed,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var (
+		valAUC, testAUC []float64
+	)
+	if *psWorkers > 0 {
+		fmt.Printf("training %s with distributed mamdr (%d workers, %d shards, cache=%v) for %d epochs...\n",
+			*model, *psWorkers, *psShards, *psCache, *epochs)
+		valAUC, testAUC = trainDistributed(ds, *model, trainOpts{
+			workers: *psWorkers, shards: *psShards, cache: *psCache,
+			epochs: *epochs, batch: *batch, innerLR: *innerLR, outerLR: *outerLR,
+			drLR: *drLR, sampleK: *sampleK, embDim: *embDim, seed: *seed,
+		}, reg, events)
+	} else {
+		fmt.Printf("training %s with %s for %d epochs...\n", *model, *fw, *epochs)
+		res, err := mamdr.Train(mamdr.TrainSpec{
+			Dataset:   ds,
+			Model:     *model,
+			Framework: *fw,
+			Epochs:    *epochs,
+			BatchSize: *batch,
+			InnerLR:   *innerLR,
+			OuterLR:   *outerLR,
+			DRLR:      *drLR,
+			SampleK:   *sampleK,
+			EmbDim:    *embDim,
+			Seed:      *seed,
+			Metrics:   reg,
+			Events:    events,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		valAUC, testAUC = res.ValAUC, res.TestAUC
 	}
 	fmt.Printf("trained in %s\n\n", time.Since(start).Round(time.Millisecond))
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Domain\tSamples\tVal AUC\tTest AUC")
 	for d, dom := range ds.Domains {
-		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\n", dom.Name, dom.Samples(), res.ValAUC[d], res.TestAUC[d])
+		fmt.Fprintf(w, "%s\t%d\t%.4f\t%.4f\n", dom.Name, dom.Samples(), valAUC[d], testAUC[d])
 	}
-	fmt.Fprintf(w, "MEAN\t\t%.4f\t%.4f\n", res.MeanValAUC, res.MeanTestAUC)
+	fmt.Fprintf(w, "MEAN\t\t%.4f\t%.4f\n", metrics.Mean(valAUC), metrics.Mean(testAUC))
 	w.Flush()
+
+	if *metricsAddr != "" && *metricsLinger > 0 {
+		log.Printf("holding /metrics open for %s", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
+}
+
+type trainOpts struct {
+	workers, shards        int
+	cache                  bool
+	epochs, batch          int
+	innerLR, outerLR, drLR float64
+	sampleK, embDim        int
+	seed                   int64
+}
+
+// trainDistributed runs the PS-Worker trainer (the paper's industrial
+// deployment shape) with full telemetry: PS traffic, cache hit ratio,
+// row staleness, and the per-domain training series from every worker.
+func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemetry.Registry, events *telemetry.EventLog) (val, test []float64) {
+	replica := func() models.Model {
+		return models.MustNew(model, models.Config{Dataset: ds, EmbDim: o.embDim, Seed: o.seed})
+	}
+	var (
+		psm *ps.Metrics
+		tm  *framework.TrainMetrics
+	)
+	if reg != nil {
+		psm = ps.NewMetrics(reg)
+	}
+	if reg != nil || events != nil {
+		tm = framework.NewTrainMetrics(reg, ds, events)
+	}
+	res := ps.Train(replica, ds, ps.Options{
+		Workers: o.workers, Shards: o.shards, CacheEnabled: o.cache,
+		Epochs: o.epochs, BatchSize: o.batch,
+		InnerLR: o.innerLR, OuterLR: o.outerLR,
+		UseDR: true, SampleK: o.sampleK, DRLR: o.drLR,
+		Seed: o.seed, Metrics: psm, Telemetry: tm,
+	})
+	c := res.Counters
+	log.Printf("PS traffic: %d dense pulls, %d dense pushes, %d row pulls, %d row pushes, %d floats moved",
+		c.DensePulls, c.DensePushes, c.RowPulls, c.RowPushes, c.FloatsMoved)
+	return framework.EvaluateAUC(res.State, ds, data.Val), framework.EvaluateAUC(res.State, ds, data.Test)
 }

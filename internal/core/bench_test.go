@@ -1,0 +1,46 @@
+package core
+
+import (
+	"io"
+	"testing"
+
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/synth"
+	"mamdr/internal/telemetry"
+)
+
+// BenchmarkTelemetryOverhead measures the full MAMDR training loop bare
+// versus with a registry and event log attached (per-domain gauges,
+// step timing histograms, parameter snapshots for the gradient-conflict
+// cosines, one JSONL event per epoch). The instrumented/bare ratio is
+// the telemetry tax; the acceptance budget is <5%. Run with:
+//
+//	go test ./internal/core -bench TelemetryOverhead -benchtime 10x
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	cfg := synth.Config{
+		Name: "telemetry-bench", Seed: 31, ConflictStrength: 0.8,
+		Domains: []synth.DomainSpec{
+			{Name: "books", Samples: 1200, CTRRatio: 0.3},
+			{Name: "games", Samples: 800, CTRRatio: 0.4},
+			{Name: "toys", Samples: 600, CTRRatio: 0.35},
+			{Name: "tools", Samples: 400, CTRRatio: 0.25},
+		},
+	}
+	run := func(b *testing.B, tm *framework.TrainMetrics) {
+		ds := synth.Generate(cfg)
+		for i := 0; i < b.N; i++ {
+			m := models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 16, Hidden: []int{32}, Seed: 5})
+			framework.MustNew("mamdr").Fit(m, ds, framework.Config{
+				Epochs: 2, BatchSize: 64, Seed: 9, Telemetry: tm,
+			})
+		}
+	}
+
+	b.Run("bare", func(b *testing.B) { run(b, nil) })
+	b.Run("instrumented", func(b *testing.B) {
+		ds := synth.Generate(cfg)
+		tm := framework.NewTrainMetrics(telemetry.New(), ds, telemetry.NewEventLog(io.Discard))
+		run(b, tm)
+	})
+}

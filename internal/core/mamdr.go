@@ -17,6 +17,7 @@ package core
 
 import (
 	"math/rand"
+	"time"
 
 	"mamdr/internal/data"
 	"mamdr/internal/framework"
@@ -162,13 +163,17 @@ func DomainNegotiationEpochOpt(st *State, ds *data.Dataset, cfg framework.Config
 			order[i] = i
 		}
 	}
+	rec := cfg.Telemetry.NewEpochRecorder(params, -1)
 	inner := optim.New(cfg.InnerOpt, cfg.LR)
 	for _, d := range order {
-		framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		rec.BeforePass()
+		loss := framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		rec.AfterPass(d, loss)
 	}
 	endpoint := paramvec.Snapshot(params)
 
 	// Treat -(endpoint - shared) as the outer gradient at Θ.
+	outerStart := time.Now()
 	paramvec.Restore(params, st.Shared)
 	for i, p := range params {
 		for j := range p.Data {
@@ -177,6 +182,7 @@ func DomainNegotiationEpochOpt(st *State, ds *data.Dataset, cfg framework.Config
 	}
 	outer.Step(params)
 	st.Shared = paramvec.Snapshot(params)
+	rec.Finish(time.Since(outerStart).Seconds())
 }
 
 // alternateEpoch trains the shared parameters with conventional
@@ -185,11 +191,15 @@ func DomainNegotiationEpochOpt(st *State, ds *data.Dataset, cfg framework.Config
 func alternateEpoch(st *State, ds *data.Dataset, cfg framework.Config, rng *rand.Rand) {
 	params := st.Model.Parameters()
 	paramvec.Restore(params, st.Shared)
+	rec := cfg.Telemetry.NewEpochRecorder(params, -1)
 	inner := optim.New(cfg.InnerOpt, cfg.LR)
 	for _, d := range rng.Perm(ds.NumDomains()) {
-		framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		rec.BeforePass()
+		loss := framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		rec.AfterPass(d, loss)
 	}
 	st.Shared = paramvec.Snapshot(params)
+	rec.Finish(-1)
 }
 
 // DomainRegularization runs Algorithm 2 for one target domain i: sample
@@ -232,7 +242,8 @@ func DomainRegularizationOpt(st *State, ds *data.Dataset, target int, cfg framew
 		}
 		framework.TrainDomainPass(st.Model, ds, first, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
 		if !opts.SkipTargetStep {
-			framework.TrainDomainPass(st.Model, ds, second, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+			loss := framework.TrainDomainPass(st.Model, ds, second, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+			cfg.Telemetry.ObserveDRPass(target, loss)
 		}
 
 		// θ_i ← θ_i + γ(θ̃_i − θ_i); in composed coordinates the

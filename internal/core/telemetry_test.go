@@ -1,0 +1,112 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mamdr/internal/framework"
+	"mamdr/internal/models"
+	"mamdr/internal/synth"
+	"mamdr/internal/telemetry"
+)
+
+func telemetryDataset() *synth.Config {
+	return &synth.Config{
+		Name: "telemetry-test", Seed: 31, ConflictStrength: 0.8,
+		Domains: []synth.DomainSpec{
+			{Name: "books", Samples: 300, CTRRatio: 0.3},
+			{Name: "games", Samples: 200, CTRRatio: 0.4},
+			{Name: "toys", Samples: 150, CTRRatio: 0.35},
+		},
+	}
+}
+
+// TestTrainingPopulatesTelemetry trains full MAMDR with instrumentation
+// attached and checks every advertised series shows up with real data:
+// per-domain loss and grad-norm gauges, inner/outer step timings, the
+// gradient-conflict cosine histogram, DR loss, and JSONL epoch events.
+func TestTrainingPopulatesTelemetry(t *testing.T) {
+	ds := synth.Generate(*telemetryDataset())
+	reg := telemetry.New()
+	var events bytes.Buffer
+	tm := framework.NewTrainMetrics(reg, ds, telemetry.NewEventLog(&events))
+
+	m := models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{8}, Seed: 5})
+	const epochs = 3
+	framework.MustNew("mamdr").Fit(m, ds, framework.Config{
+		Epochs: epochs, BatchSize: 32, Seed: 9, Telemetry: tm,
+	})
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`mamdr_train_domain_loss{domain="books"}`,
+		`mamdr_train_domain_grad_norm{domain="games"}`,
+		`mamdr_train_dr_loss{domain="toys"}`,
+		`mamdr_train_inner_step_seconds_bucket`,
+		`mamdr_train_outer_step_seconds_count ` + "3",
+		`mamdr_train_grad_cosine_bucket`,
+		`mamdr_train_epochs_total 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// 3 domains visited per epoch => 3 pairwise cosines per epoch.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "mamdr_train_grad_cosine_count") {
+			if !strings.HasSuffix(line, " 9") {
+				t.Errorf("grad cosine count = %q, want 9 (3 pairs x 3 epochs)", line)
+			}
+		}
+	}
+
+	lines := strings.Split(strings.TrimSpace(events.String()), "\n")
+	if len(lines) != epochs {
+		t.Fatalf("event log has %d lines, want %d", len(lines), epochs)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[epochs-1]), &rec); err != nil {
+		t.Fatalf("event line is not JSON: %v", err)
+	}
+	if rec["event"] != "epoch" || rec["epoch"] != float64(epochs) {
+		t.Fatalf("last event = %v", rec)
+	}
+	losses, ok := rec["loss"].(map[string]any)
+	if !ok || losses["books"] == nil || losses["games"] == nil || losses["toys"] == nil {
+		t.Fatalf("event losses = %v", rec["loss"])
+	}
+	if rec["grad_cosine_mean"] == nil || rec["outer_seconds"] == nil {
+		t.Fatalf("event missing conflict/outer fields: %v", rec)
+	}
+}
+
+// TestTelemetryDoesNotChangeTraining pins that instrumentation is
+// purely observational: the same seed must produce bit-identical shared
+// parameters with and without a recorder attached.
+func TestTelemetryDoesNotChangeTraining(t *testing.T) {
+	run := func(tm *framework.TrainMetrics) *State {
+		ds := synth.Generate(*telemetryDataset())
+		m := models.MustNew("mlp", models.Config{Dataset: ds, EmbDim: 4, Hidden: []int{8}, Seed: 5})
+		return framework.MustNew("mamdr").Fit(m, ds, framework.Config{
+			Epochs: 2, BatchSize: 32, Seed: 9, Telemetry: tm,
+		}).(*State)
+	}
+	bare := run(nil)
+	ds := synth.Generate(*telemetryDataset())
+	instrumented := run(framework.NewTrainMetrics(telemetry.New(), ds, nil))
+
+	for i := range bare.Shared {
+		for j := range bare.Shared[i] {
+			if bare.Shared[i][j] != instrumented.Shared[i][j] {
+				t.Fatalf("telemetry changed training: tensor %d entry %d differs", i, j)
+			}
+		}
+	}
+}

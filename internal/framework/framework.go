@@ -51,6 +51,11 @@ type Config struct {
 	FinetuneEpochs int
 	// Seed drives all framework-level randomness.
 	Seed int64
+	// Telemetry, when non-nil, receives per-domain training telemetry —
+	// loss and grad-norm gauges, DN step timings, the gradient-conflict
+	// cosine histogram — and emits JSONL epoch events. Nil (the
+	// default) disables instrumentation entirely.
+	Telemetry *TrainMetrics
 }
 
 // WithDefaults returns cfg with zero fields replaced by defaults.

@@ -1,0 +1,145 @@
+package ps
+
+import (
+	"strconv"
+	"sync"
+
+	"mamdr/internal/telemetry"
+)
+
+// Metrics mirrors parameter-server traffic into a telemetry registry as
+// live time series: the pull/push call and float counters that the ad
+// hoc Counters struct has always tallied, plus per-tensor row-sync
+// volume, the worker-side dynamic-cache hit/miss ratio, and the
+// distribution of row staleness (how many local batches a cached
+// embedding row went without re-pulling from the PS — the quantity the
+// paper's static/dynamic cache design bounds).
+//
+// One Metrics may be shared by a Server and all its Workers; every
+// method is safe for concurrent use and nil-receiver-safe, so the
+// uninstrumented path costs nothing.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	densePulls, densePushes *telemetry.Counter
+	rowPulls, rowPushes     *telemetry.Counter
+	floats                  *telemetry.Counter
+	cacheHits, cacheMisses  *telemetry.Counter
+	hitRatio                *telemetry.Gauge
+	staleness               *telemetry.Histogram
+
+	mu        sync.Mutex
+	rowFloats map[int]*telemetry.Counter // per-tensor row-sync volume
+}
+
+// NewMetrics registers the PS series in reg. A nil registry yields a
+// nil (disabled) Metrics.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		reg: reg,
+		densePulls: reg.Counter("mamdr_ps_dense_pulls_total",
+			"PullDense calls served by the parameter server."),
+		densePushes: reg.Counter("mamdr_ps_dense_pushes_total",
+			"PushDelta calls that carried dense tensor deltas."),
+		rowPulls: reg.Counter("mamdr_ps_row_pulls_total",
+			"Embedding rows pulled from the parameter server."),
+		rowPushes: reg.Counter("mamdr_ps_row_pushes_total",
+			"Embedding rows pushed to the parameter server."),
+		floats: reg.Counter("mamdr_ps_floats_moved_total",
+			"Float64 values moved between workers and the PS — the synchronization-overhead metric of the cache experiments."),
+		cacheHits: reg.Counter("mamdr_ps_cache_hits_total",
+			"Embedding rows resolved from the worker dynamic cache without a PS round trip."),
+		cacheMisses: reg.Counter("mamdr_ps_cache_misses_total",
+			"Embedding rows that missed the dynamic cache and were pulled from the PS."),
+		hitRatio: reg.Gauge("mamdr_ps_cache_hit_ratio",
+			"Cumulative dynamic-cache hit ratio: hits / (hits + misses)."),
+		staleness: reg.Histogram("mamdr_ps_row_staleness_batches",
+			"Local mini-batches a cached embedding row aged between its PS pull and its delta push.",
+			telemetry.ExponentialBuckets(1, 2, 9)),
+		rowFloats: map[int]*telemetry.Counter{},
+	}
+}
+
+// observeDensePull records one PullDense serving n floats.
+func (m *Metrics) observeDensePull(n int) {
+	if m == nil {
+		return
+	}
+	m.densePulls.Inc()
+	m.floats.Add(int64(n))
+}
+
+// observeRowPull records rows embedding rows pulled (n floats total)
+// from tensor t.
+func (m *Metrics) observeRowPull(t, rows, n int) {
+	if m == nil {
+		return
+	}
+	m.rowPulls.Add(int64(rows))
+	m.floats.Add(int64(n))
+	m.tensorRowFloats(t).Add(int64(n))
+}
+
+// observeDensePush records one push carrying dense deltas.
+func (m *Metrics) observeDensePush() {
+	if m == nil {
+		return
+	}
+	m.densePushes.Inc()
+}
+
+// observeDenseFloats records n dense floats moved in a push.
+func (m *Metrics) observeDenseFloats(n int) {
+	if m == nil {
+		return
+	}
+	m.floats.Add(int64(n))
+}
+
+// observeRowPush records rows embedding-row deltas (n floats total)
+// pushed into tensor t.
+func (m *Metrics) observeRowPush(t, rows, n int) {
+	if m == nil {
+		return
+	}
+	m.rowPushes.Add(int64(rows))
+	m.floats.Add(int64(n))
+	m.tensorRowFloats(t).Add(int64(n))
+}
+
+// observeCacheResolve records one batch's embedding-row resolution.
+func (m *Metrics) observeCacheResolve(hits, misses int) {
+	if m == nil || hits+misses == 0 {
+		return
+	}
+	m.cacheHits.Add(int64(hits))
+	m.cacheMisses.Add(int64(misses))
+	h, miss := float64(m.cacheHits.Value()), float64(m.cacheMisses.Value())
+	m.hitRatio.Set(h / (h + miss))
+}
+
+// observeStaleness records how many batches a row aged in the dynamic
+// cache before its delta was pushed.
+func (m *Metrics) observeStaleness(batches int) {
+	if m == nil {
+		return
+	}
+	m.staleness.Observe(float64(batches))
+}
+
+// tensorRowFloats lazily creates the per-tensor row-sync counter.
+func (m *Metrics) tensorRowFloats(t int) *telemetry.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.rowFloats[t]
+	if !ok {
+		c = m.reg.Counter("mamdr_ps_row_sync_floats_total",
+			"Row-synchronized floats per embedding tensor.",
+			telemetry.L("tensor", strconv.Itoa(t)))
+		m.rowFloats[t] = c
+	}
+	return c
+}

@@ -149,7 +149,16 @@ type Server struct {
 	counters struct {
 		densePulls, densePushes, rowPulls, rowPushes, floats int64
 	}
+
+	// metrics mirrors the counters into telemetry series when attached
+	// via SetMetrics; nil means uninstrumented.
+	metrics *Metrics
 }
+
+// SetMetrics attaches a telemetry mirror for the traffic counters.
+// Attach before serving traffic; the field is not synchronized against
+// in-flight calls.
+func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
 
 type shard struct {
 	mu sync.Mutex
@@ -202,6 +211,7 @@ func (s *Server) Layout() Layout { return s.layout }
 // PullDense implements Store.
 func (s *Server) PullDense() map[int][]float64 {
 	out := map[int][]float64{}
+	var floats int
 	for t := 0; t < s.layout.NumTensors(); t++ {
 		if s.layout.Embedding[t] {
 			continue
@@ -211,8 +221,10 @@ func (s *Server) PullDense() map[int][]float64 {
 		out[t] = append([]float64(nil), sh.data[t].Data...)
 		sh.mu.Unlock()
 		atomic.AddInt64(&s.counters.floats, int64(len(out[t])))
+		floats += len(out[t])
 	}
 	atomic.AddInt64(&s.counters.densePulls, 1)
+	s.metrics.observeDensePull(floats)
 	return out
 }
 
@@ -232,6 +244,7 @@ func (s *Server) PullRows(tensor int, rows []int) [][]float64 {
 	sh.mu.Unlock()
 	atomic.AddInt64(&s.counters.rowPulls, int64(len(rows)))
 	atomic.AddInt64(&s.counters.floats, int64(len(rows)*cols))
+	s.metrics.observeRowPull(tensor, len(rows), len(rows)*cols)
 	return out
 }
 
@@ -244,6 +257,7 @@ func (s *Server) PullRows(tensor int, rows []int) [][]float64 {
 func (s *Server) PushDelta(d Delta) {
 	if len(d.Dense) > 0 {
 		atomic.AddInt64(&s.counters.densePushes, 1)
+		s.metrics.observeDensePush()
 	}
 	for t, delta := range d.Dense {
 		sh := s.shards[s.shardOf[t]]
@@ -255,6 +269,7 @@ func (s *Server) PushDelta(d Delta) {
 		sh.opt.Step([]*autograd.Tensor{tensor})
 		sh.mu.Unlock()
 		atomic.AddInt64(&s.counters.floats, int64(len(delta)))
+		s.metrics.observeDenseFloats(len(delta))
 	}
 	for t, rows := range d.Rows {
 		cols := s.layout.Cols[t]
@@ -270,6 +285,7 @@ func (s *Server) PushDelta(d Delta) {
 		sh.mu.Unlock()
 		atomic.AddInt64(&s.counters.rowPushes, int64(len(rows)))
 		atomic.AddInt64(&s.counters.floats, int64(len(rows)*cols))
+		s.metrics.observeRowPush(t, len(rows), len(rows)*cols)
 	}
 }
 

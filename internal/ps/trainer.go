@@ -39,6 +39,14 @@ type Options struct {
 	SampleK int
 	DRLR    float64
 	Seed    int64
+	// Metrics, when non-nil, mirrors PS traffic, the worker cache
+	// hit/miss ratio, and the row-staleness distribution into a
+	// telemetry registry (ps.NewMetrics).
+	Metrics *Metrics
+	// Telemetry, when non-nil, records per-domain training telemetry
+	// from every worker's inner loops — the same series as
+	// single-process training, tagged by worker in the event log.
+	Telemetry *framework.TrainMetrics
 }
 
 // WithDefaults fills zero fields with the benchmark-scale defaults.
@@ -98,6 +106,7 @@ func Train(replica func() models.Model, ds *data.Dataset, opts Options) *Result 
 	// everything else synchronizes densely. No row-count guessing.
 	tables := models.EmbeddingTablesOf(serving)
 	server := NewServer(serving.Parameters(), tables, opts.Shards, opts.OuterOpt, opts.OuterLR)
+	server.SetMetrics(opts.Metrics)
 	return TrainWithStore(replica, serving, server, server, ds, opts)
 }
 
@@ -120,6 +129,7 @@ func TrainWithStore(replica func() models.Model, serving models.Model, store Sto
 		w := NewWorker(i, replica(), ds, domains, store, opts.CacheEnabled)
 		w.InnerOpt, w.InnerLR = opts.InnerOpt, opts.InnerLR
 		w.BatchSize, w.MaxBatchesPerDomain = opts.BatchSize, opts.MaxBatchesPerDomain
+		w.Metrics, w.Telemetry = opts.Metrics, opts.Telemetry
 		workers[i] = w
 	}
 
@@ -152,6 +162,7 @@ func TrainWithStore(replica func() models.Model, serving models.Model, store Sto
 			Epochs: 1, BatchSize: opts.BatchSize, LR: opts.InnerLR,
 			InnerOpt: opts.InnerOpt, SampleK: opts.SampleK, DRLR: opts.DRLR,
 			MaxBatchesPerDomain: opts.MaxBatchesPerDomain, Seed: opts.Seed,
+			Telemetry: opts.Telemetry,
 		}.WithDefaults()
 		var wg sync.WaitGroup
 		var mu sync.Mutex

@@ -7,6 +7,7 @@ import (
 
 	"mamdr/internal/autograd"
 	"mamdr/internal/data"
+	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/optim"
 )
@@ -41,6 +42,14 @@ type Worker struct {
 	BatchSize           int
 	MaxBatchesPerDomain int
 
+	// Metrics, when non-nil, records the dynamic-cache hit/miss ratio
+	// and the row-staleness distribution (shared with the server's
+	// traffic series). Telemetry, when non-nil, records the same
+	// per-domain loss/timing/conflict series as single-process training,
+	// tagged with the worker id in the event log.
+	Metrics   *Metrics
+	Telemetry *framework.TrainMetrics
+
 	params []*autograd.Tensor
 	// static holds the epoch-start values: full tensors for dense
 	// parameters, and per-row values for embedding rows as they are
@@ -50,6 +59,12 @@ type Worker struct {
 	// dynamicRows marks embedding rows currently held in the dynamic
 	// cache (the model tensor itself stores their updated values).
 	dynamicRows map[int]map[int]bool
+	// batchClock counts local mini-batches this epoch; rowPulledAt
+	// remembers the clock at each row's last PS pull, so pushDelta can
+	// report how stale the cached row grew (tracked only when Metrics
+	// is attached).
+	batchClock  int
+	rowPulledAt map[int]map[int]int
 }
 
 // NewWorker builds a worker over a model replica. It panics if the
@@ -98,7 +113,10 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 	w.pullDense()
 	w.staticRows = map[int]map[int][]float64{}
 	w.dynamicRows = map[int]map[int]bool{}
+	w.rowPulledAt = map[int]map[int]int{}
+	w.batchClock = 0
 
+	rec := w.Telemetry.NewEpochRecorder(w.params, w.ID)
 	inner := optim.New(w.InnerOpt, w.InnerLR)
 	order := rng.Perm(len(w.Domains))
 	for _, di := range order {
@@ -107,6 +125,8 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 		if w.MaxBatchesPerDomain > 0 && len(batches) > w.MaxBatchesPerDomain {
 			batches = batches[:w.MaxBatchesPerDomain]
 		}
+		rec.BeforePass()
+		var total float64
 		for _, b := range batches {
 			w.resolveEmbeddingRows(b)
 			for _, p := range w.params {
@@ -115,6 +135,8 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 			loss := autograd.BCEWithLogits(w.Model.Forward(b, true), b.Labels)
 			loss.Backward()
 			inner.Step(w.params)
+			total += loss.Item()
+			w.batchClock++
 			if !w.CacheEnabled {
 				// Naive protocol: push this batch's deltas right away
 				// and drop the cache so the next batch re-pulls.
@@ -122,17 +144,24 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 				w.pullDense()
 				w.staticRows = map[int]map[int][]float64{}
 				w.dynamicRows = map[int]map[int]bool{}
+				w.rowPulledAt = map[int]map[int]int{}
 			}
 		}
+		if len(batches) > 0 {
+			total /= float64(len(batches))
+		}
+		rec.AfterPass(d, total)
 	}
 	if w.CacheEnabled {
 		w.pushDelta()
 	}
+	rec.Finish(-1)
 	// Clear caches for the next epoch (paper: "we clear both the
 	// static-cache and dynamic-cache for next epoch").
 	w.staticDense = nil
 	w.staticRows = nil
 	w.dynamicRows = nil
+	w.rowPulledAt = nil
 }
 
 // pullDense refreshes dense tensors from the PS into both the model and
@@ -167,6 +196,7 @@ func (w *Worker) resolveEmbeddingRows(b *data.Batch) {
 				missing = append(missing, r)
 			}
 		}
+		w.Metrics.observeCacheResolve(len(rows)-len(missing), len(missing))
 		if len(missing) == 0 {
 			continue
 		}
@@ -176,6 +206,14 @@ func (w *Worker) resolveEmbeddingRows(b *data.Batch) {
 			copy(p.Data[r*cols:(r+1)*cols], vals[i])
 			w.staticRows[t][r] = vals[i]
 			w.dynamicRows[t][r] = true
+		}
+		if w.Metrics != nil {
+			if w.rowPulledAt[t] == nil {
+				w.rowPulledAt[t] = map[int]int{}
+			}
+			for _, r := range missing {
+				w.rowPulledAt[t][r] = w.batchClock
+			}
 		}
 	}
 }
@@ -219,6 +257,9 @@ func (w *Worker) pushDelta() {
 			sort.Ints(rows)
 			cols := p.Cols
 			for _, r := range rows {
+				if w.Metrics != nil {
+					w.Metrics.observeStaleness(w.batchClock - w.rowPulledAt[t][r])
+				}
 				static := w.staticRows[t][r]
 				delta := make([]float64, cols)
 				for j := 0; j < cols; j++ {

@@ -13,6 +13,7 @@ import (
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/synth"
+	"mamdr/internal/telemetry"
 )
 
 // legacyServer replicates the seed serving path this package shipped
@@ -94,6 +95,47 @@ func BenchmarkServeThroughput(b *testing.B) {
 
 	b.Run("replica-pool", func(b *testing.B) {
 		srv := NewWithOptions(st, ds, Options{Replicas: 8, ReplicaFactory: factory})
+		drive(b, srv.Handler())
+	})
+}
+
+// BenchmarkTelemetryOverhead measures the serving request path bare
+// versus fully instrumented (request-ID middleware, status-code
+// counters, pool-wait and per-domain latency histograms, saturation
+// gauge). The instrumented/bare ratio is the telemetry tax; the
+// acceptance budget is <5%. Run with:
+//
+//	go test ./internal/serve -bench TelemetryOverhead -benchtime 2s
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	st, ds, factory := benchState(b)
+	body, err := json.Marshal(PredictRequest{Domain: 1, Users: []int{0, 1, 2, 3}, Items: []int{1, 0, 2, 3}})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	drive := func(b *testing.B, h http.Handler) {
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("predict = %d: %s", w.Code, w.Body)
+				}
+			}
+		})
+	}
+
+	b.Run("bare", func(b *testing.B) {
+		srv := NewWithOptions(st, ds, Options{Replicas: 8, ReplicaFactory: factory})
+		drive(b, srv.Handler())
+	})
+
+	b.Run("instrumented", func(b *testing.B) {
+		srv := NewWithOptions(st, ds, Options{
+			Replicas: 8, ReplicaFactory: factory, Metrics: telemetry.New(),
+		})
 		drive(b, srv.Handler())
 	})
 }

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/paramvec"
+	"mamdr/internal/telemetry"
 )
 
 // Options configures the serving path.
@@ -49,6 +51,15 @@ type Options struct {
 	RequestTimeout time.Duration
 	// MaxBodyBytes caps the request body size. Default 1 MiB.
 	MaxBodyBytes int64
+	// Metrics, when non-nil, receives the serving instruments —
+	// per-domain latency histograms, replica-pool wait and saturation,
+	// per-status-code request counters — and is exposed at GET /metrics
+	// on the server's handler.
+	Metrics *telemetry.Registry
+	// AccessLog, when non-nil, emits one structured log line per
+	// request, carrying a request ID that is also returned in the
+	// X-Request-ID response header.
+	AccessLog *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +108,8 @@ type Server struct {
 
 	snap atomic.Pointer[snapshot]
 	pool chan *replica
+
+	metrics *serveMetrics
 }
 
 // New builds a server over a trained state and its dataset with default
@@ -134,6 +147,7 @@ func NewWithOptions(state *core.State, dataset *data.Dataset, opts Options) *Ser
 		s.pool <- &replica{model: m, params: params}
 	}
 	s.snap.Store(s.compose())
+	s.metrics = newServeMetrics(opts.Metrics, opts.Replicas)
 	return s
 }
 
@@ -224,6 +238,11 @@ type AddDomainResponse struct {
 //	GET  /domains     -> {num_domains, names[]}
 //	POST /domains     -> {id}   (registers a new domain)
 //	GET  /healthz     -> 200 ok
+//	GET  /metrics     -> Prometheus text exposition (when Options.Metrics is set)
+//
+// With Options.Metrics or Options.AccessLog set, every response carries
+// an X-Request-ID header, status codes are counted, and one structured
+// log line is emitted per request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
@@ -231,10 +250,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	return mux
+	if s.opts.Metrics != nil {
+		mux.Handle("/metrics", s.opts.Metrics.Handler())
+	}
+	return s.instrument(mux)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
@@ -280,12 +303,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
+	waitStart := time.Now()
 	select {
 	case rep := <-s.pool:
+		s.metrics.acquire(time.Since(waitStart))
 		probs := s.predictOn(rep, snap, req.Domain, batch)
 		s.pool <- rep
+		s.metrics.release()
 		writeJSON(w, PredictResponse{Probabilities: probs})
+		s.metrics.latencyFor(snap.names[req.Domain]).Observe(time.Since(start).Seconds())
 	case <-ctx.Done():
+		// Tell well-behaved clients when to come back: the pool is
+		// saturated now, so a retry sooner than a second will likely
+		// block again.
+		w.Header().Set("Retry-After", "1")
+		s.metrics.poolTimeouts.Inc()
 		http.Error(w, "no model replica available", http.StatusServiceUnavailable)
 	}
 }

@@ -3,16 +3,20 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mamdr/internal/core"
 	"mamdr/internal/data"
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/synth"
+	"mamdr/internal/telemetry"
 )
 
 func testState(t *testing.T) (*core.State, *data.Dataset, func() models.Model) {
@@ -280,6 +284,132 @@ func TestAddDomainKeepsOldSnapshotsImmutable(t *testing.T) {
 	after := postJSON(t, h, "/predict", req)
 	if before.Body.String() != after.Body.String() {
 		t.Fatal("registering domains changed existing domains' scores")
+	}
+}
+
+// TestPoolTimeoutSetsRetryAfter exhausts the replica pool and asserts
+// the 503 response carries a Retry-After header and increments the
+// pool-timeout counter.
+func TestPoolTimeoutSetsRetryAfter(t *testing.T) {
+	st, ds, _ := testState(t)
+	reg := telemetry.New()
+	s := NewWithOptions(st, ds, Options{
+		RequestTimeout: 5 * time.Millisecond,
+		Metrics:        reg,
+	})
+	h := s.Handler()
+
+	// Drain the single-replica pool so every predict times out.
+	rep := <-s.pool
+	defer func() { s.pool <- rep }()
+
+	w := postJSON(t, h, "/predict", PredictRequest{Domain: 0, Users: []int{0}, Items: []int{0}})
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("predict with exhausted pool = %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	if w.Header().Get("X-Request-ID") == "" {
+		t.Fatal("503 response missing X-Request-ID")
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mamdr_serve_pool_timeouts_total 1",
+		`mamdr_serve_requests_total{code="503"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsEndpoint drives instrumented traffic and scrapes /metrics
+// on the serving handler itself.
+func TestMetricsEndpoint(t *testing.T) {
+	st, ds, _ := testState(t)
+	s := NewWithOptions(st, ds, Options{Metrics: telemetry.New()})
+	h := s.Handler()
+
+	for i := 0; i < 3; i++ {
+		if w := postJSON(t, h, "/predict", PredictRequest{Domain: 0, Users: []int{0}, Items: []int{0}}); w.Code != http.StatusOK {
+			t.Fatalf("predict = %d", w.Code)
+		}
+	}
+	postJSON(t, h, "/predict", PredictRequest{Domain: 99, Users: []int{0}, Items: []int{0}})
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := w.Body.String()
+	for _, want := range []string{
+		`mamdr_serve_request_seconds_bucket{domain="a",le="`,
+		`mamdr_serve_request_seconds_count{domain="a"} 3`,
+		`mamdr_serve_requests_total{code="200"} 3`,
+		`mamdr_serve_requests_total{code="404"} 1`,
+		"mamdr_serve_pool_wait_seconds_count 3",
+		"mamdr_serve_replica_pool_size 1",
+		"mamdr_serve_pool_saturation 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAccessLogEmitsRequestIDs checks one structured line per request
+// with stable request-ID propagation.
+func TestAccessLogEmitsRequestIDs(t *testing.T) {
+	st, ds, _ := testState(t)
+	var logBuf bytes.Buffer
+	s := NewWithOptions(st, ds, Options{
+		AccessLog: slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	h := s.Handler()
+
+	w := postJSON(t, h, "/predict", PredictRequest{Domain: 0, Users: []int{0}, Items: []int{0}})
+	rid := w.Header().Get("X-Request-ID")
+	if rid == "" {
+		t.Fatal("response missing X-Request-ID")
+	}
+
+	// An inbound ID is honored and echoed.
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	req.Header.Set("X-Request-ID", "upstream-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != "upstream-42" {
+		t.Fatalf("inbound request ID not propagated: %q", got)
+	}
+
+	lines := strings.Split(strings.TrimSpace(logBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2", len(lines))
+	}
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+		t.Fatalf("log line not JSON: %v", err)
+	}
+	if entry["request_id"] != rid || entry["path"] != "/predict" || entry["status"] != float64(200) {
+		t.Fatalf("log entry = %v", entry)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["request_id"] != "upstream-42" {
+		t.Fatalf("second entry request_id = %v", second["request_id"])
 	}
 }
 

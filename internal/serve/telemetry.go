@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mamdr/internal/telemetry"
+)
+
+// serveMetrics are the request-path instruments. All fields are safe
+// for concurrent use; the struct itself is nil when metrics are
+// disabled (every method is nil-receiver-safe).
+type serveMetrics struct {
+	reg *telemetry.Registry
+
+	poolWait     *telemetry.Histogram
+	poolTimeouts *telemetry.Counter
+	saturation   *telemetry.Gauge
+	poolSize     *telemetry.Gauge
+
+	// codeCounters and latencies cache instrument pointers so the hot
+	// request path skips the registry's mutex-guarded lookup (the
+	// registry is get-or-create, so a racing double-create is benign —
+	// both callers get the same series).
+	codeCounters sync.Map // int -> *telemetry.Counter
+	latencies    sync.Map // string -> *telemetry.Histogram
+
+	inflight atomic.Int64
+	replicas int
+}
+
+func newServeMetrics(reg *telemetry.Registry, replicas int) *serveMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &serveMetrics{
+		reg: reg,
+		poolWait: reg.Histogram("mamdr_serve_pool_wait_seconds",
+			"Time a prediction waited for a free model replica.", telemetry.DefBuckets),
+		poolTimeouts: reg.Counter("mamdr_serve_pool_timeouts_total",
+			"Predictions that timed out waiting for a replica (503 + Retry-After)."),
+		saturation: reg.Gauge("mamdr_serve_pool_saturation",
+			"In-flight predictions divided by the replica-pool size."),
+		poolSize: reg.Gauge("mamdr_serve_replica_pool_size",
+			"Configured model-replica pool size."),
+		replicas: replicas,
+	}
+	m.poolSize.Set(float64(replicas))
+	// Declare the status-code counter family up front so a scrape
+	// before the first request still shows it.
+	m.requestCounter(http.StatusOK).Add(0)
+	return m
+}
+
+// requestCounter returns the per-status-code request counter.
+func (m *serveMetrics) requestCounter(code int) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.codeCounters.Load(code); ok {
+		return v.(*telemetry.Counter)
+	}
+	c := m.reg.Counter("mamdr_serve_requests_total",
+		"HTTP requests by status code.", telemetry.L("code", strconv.Itoa(code)))
+	m.codeCounters.Store(code, c)
+	return c
+}
+
+// latencyFor returns the per-domain request latency histogram.
+func (m *serveMetrics) latencyFor(domain string) *telemetry.Histogram {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.latencies.Load(domain); ok {
+		return v.(*telemetry.Histogram)
+	}
+	h := m.reg.Histogram("mamdr_serve_request_seconds",
+		"Prediction latency by domain.", telemetry.DefBuckets, telemetry.L("domain", domain))
+	m.latencies.Store(domain, h)
+	return h
+}
+
+// acquire/release bracket a replica checkout and keep the saturation
+// gauge current.
+func (m *serveMetrics) acquire(waited time.Duration) {
+	if m == nil {
+		return
+	}
+	m.poolWait.Observe(waited.Seconds())
+	n := m.inflight.Add(1)
+	m.saturation.Set(float64(n) / float64(m.replicas))
+}
+
+func (m *serveMetrics) release() {
+	if m == nil {
+		return
+	}
+	n := m.inflight.Add(-1)
+	m.saturation.Set(float64(n) / float64(m.replicas))
+}
+
+// --- request IDs and the instrumented handler chain ---
+
+// ridPrefix distinguishes processes; ridSeq distinguishes requests.
+var (
+	ridPrefix = fmt.Sprintf("%08x", rand.Uint32())
+	ridSeq    atomic.Uint64
+)
+
+// requestID honors an inbound X-Request-ID (so IDs propagate through
+// proxies) or mints a process-unique one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridSeq.Add(1))
+}
+
+// statusWriter captures the response status and size for counters and
+// access logs.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps the route mux with the observability chain: a
+// request ID on every response, per-status-code counters, and one
+// structured access-log line per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	metrics, logger := s.metrics, s.opts.AccessLog
+	if metrics == nil && logger == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := requestID(r)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw.Header().Set("X-Request-ID", rid)
+		next.ServeHTTP(sw, r)
+		metrics.requestCounter(sw.code).Inc()
+		if logger != nil {
+			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("request_id", rid),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.code),
+				slog.Int("bytes", sw.bytes),
+				slog.Duration("duration", time.Since(start)),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// EventLog appends structured training events as JSON Lines, one object
+// per line, each stamped with a UTC timestamp and an event name. It is
+// safe for concurrent use and nil-receiver-safe, so instrumented code
+// can log unconditionally.
+type EventLog struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+}
+
+// NewEventLog writes events to w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w}
+}
+
+// OpenEventLog appends events to the file at path, creating it if
+// needed.
+func OpenEventLog(path string) (*EventLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: open event log: %w", err)
+	}
+	return &EventLog{w: f, closer: f}, nil
+}
+
+// Log writes one event line: {"ts":..., "event":name, ...fields}.
+// Reserved keys "ts" and "event" in fields are overwritten. Marshal
+// failures are silently dropped — telemetry must never take down a
+// training run.
+func (l *EventLog) Log(name string, fields map[string]any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["event"] = name
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(line)
+	l.w.Write([]byte{'\n'})
+}
+
+// Close closes the underlying file when the log owns one.
+func (l *EventLog) Close() error {
+	if l == nil || l.closer == nil {
+		return nil
+	}
+	return l.closer.Close()
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in registration order: a HELP
+// line, a TYPE line, then the series sorted by label signature.
+// Histograms expand into cumulative _bucket series (ending with
+// le="+Inf"), _sum, and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		r.mu.Lock()
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		ss := make([]*series, len(sigs))
+		for i, sig := range sigs {
+			ss[i] = f.series[sig]
+		}
+		r.mu.Unlock()
+
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ss {
+			switch inst := s.inst.(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", s.sig, "", float64(inst.Value()))
+			case *Gauge:
+				writeSample(bw, f.name, "", s.sig, "", inst.Value())
+			case func() float64:
+				writeSample(bw, f.name, "", s.sig, "", inst())
+			case *Histogram:
+				var cum int64
+				for i, bound := range inst.bounds {
+					cum += inst.counts[i].Load()
+					writeSample(bw, f.name, "_bucket", s.sig,
+						`le="`+formatFloat(bound)+`"`, float64(cum))
+				}
+				// The +Inf bucket equals the total count by construction.
+				writeSample(bw, f.name, "_bucket", s.sig, `le="+Inf"`, float64(inst.Count()))
+				writeSample(bw, f.name, "_sum", s.sig, "", inst.Sum())
+				writeSample(bw, f.name, "_count", s.sig, "", float64(inst.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one sample line, merging the series' label
+// signature with an extra label (the histogram le bound).
+func writeSample(w io.Writer, name, suffix, sig, extra string, v float64) {
+	labels := sig
+	if extra != "" {
+		if labels != "" {
+			labels += "," + extra
+		} else {
+			labels = extra
+		}
+	}
+	if labels != "" {
+		fmt.Fprintf(w, "%s%s{%s} %s\n", name, suffix, labels, formatFloat(v))
+	} else {
+		fmt.Fprintf(w, "%s%s %s\n", name, suffix, formatFloat(v))
+	}
+}
+
+// formatFloat renders a sample value; integral values print without an
+// exponent or trailing zeros, and +Inf uses the exposition spelling.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry in the Prometheus text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
+
+// RegisterGoRuntime adds scrape-time gauges for the Go runtime:
+// goroutine count, heap allocation, and completed GC cycles.
+func RegisterGoRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

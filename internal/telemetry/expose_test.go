@@ -1,0 +1,331 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry assembles one of every instrument shape, including
+// label values that need escaping.
+func buildTestRegistry() *Registry {
+	r := New()
+	r.Counter("app_requests_total", "Requests served.", L("code", "200")).Add(7)
+	r.Counter("app_requests_total", "Requests served.", L("code", "503")).Add(2)
+	r.Gauge("app_pool_saturation", "In-flight replicas / pool size.").Set(0.25)
+	r.Counter("app_escaped_total", "Label escaping.", L("path", `a\b"c`+"\nd")).Inc()
+	h := r.Histogram("app_latency_seconds", "Request latency.", []float64{0.1, 1}, L("domain", "books"))
+	for _, v := range []float64{0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestExpositionGolden pins the exact rendered output: family order
+// follows registration, series sort by label signature, histograms
+// expand to cumulative buckets + sum + count.
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 7
+app_requests_total{code="503"} 2
+# HELP app_pool_saturation In-flight replicas / pool size.
+# TYPE app_pool_saturation gauge
+app_pool_saturation 0.25
+# HELP app_escaped_total Label escaping.
+# TYPE app_escaped_total counter
+app_escaped_total{path="a\\b\"c\nd"} 1
+# HELP app_latency_seconds Request latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{domain="books",le="0.1"} 1
+app_latency_seconds_bucket{domain="books",le="1"} 2
+app_latency_seconds_bucket{domain="books",le="+Inf"} 3
+app_latency_seconds_sum 2.55
+app_latency_seconds_count 3
+`
+	// The histogram _sum/_count carry the series labels too.
+	want = strings.ReplaceAll(want,
+		"app_latency_seconds_sum 2.55\napp_latency_seconds_count 3",
+		`app_latency_seconds_sum{domain="books"} 2.55`+"\n"+`app_latency_seconds_count{domain="books"} 3`)
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionParses validates the output line-by-line the way a
+// Prometheus scraper would: HELP immediately before TYPE, every sample
+// under a declared family, label escaping well-formed, and histogram
+// _bucket/_sum/_count invariants (cumulative non-decreasing buckets,
+// +Inf bucket == _count).
+func TestExpositionParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, buf.String())
+}
+
+// validateExposition is the reusable line-by-line checker; other
+// packages replicate its core checks against live /metrics endpoints.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	type fam struct {
+		kind     string
+		samples  int
+		buckets  map[string][]float64 // histogram: series sig -> cumulative counts
+		sumCount map[string][2]float64
+		infSeen  map[string]float64
+	}
+	families := map[string]*fam{}
+	var lastHelp string
+	var current string
+
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	for ln, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			lastHelp = name
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, kind := parts[0], parts[1]
+			if name != lastHelp {
+				t.Fatalf("line %d: TYPE %s not preceded by its HELP (last HELP %s)", ln+1, name, lastHelp)
+			}
+			if kind != "counter" && kind != "gauge" && kind != "histogram" {
+				t.Fatalf("line %d: unknown kind %q", ln+1, kind)
+			}
+			families[name] = &fam{kind: kind,
+				buckets: map[string][]float64{}, sumCount: map[string][2]float64{}, infSeen: map[string]float64{}}
+			current = name
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			name, labels, value := parseSample(t, ln+1, line)
+			base := name
+			suffix := ""
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if f, ok := families[strings.TrimSuffix(name, sfx)]; ok && f.kind == "histogram" && strings.HasSuffix(name, sfx) {
+					base, suffix = strings.TrimSuffix(name, sfx), sfx
+					break
+				}
+			}
+			f, ok := families[base]
+			if !ok {
+				t.Fatalf("line %d: sample %s before its TYPE", ln+1, name)
+			}
+			if base != current {
+				t.Fatalf("line %d: sample for %s interleaved into family %s", ln+1, base, current)
+			}
+			if f.kind == "histogram" && suffix == "" {
+				t.Fatalf("line %d: bare sample %s for histogram family", ln+1, name)
+			}
+			f.samples++
+			if f.kind != "histogram" {
+				continue
+			}
+			le, sig := splitLE(labels)
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					t.Fatalf("line %d: bucket without le label", ln+1)
+				}
+				if le == "+Inf" {
+					f.infSeen[sig] = value
+					break
+				}
+				prev := f.buckets[sig]
+				if len(prev) > 0 && value < prev[len(prev)-1] {
+					t.Fatalf("line %d: bucket counts not cumulative: %v then %g", ln+1, prev, value)
+				}
+				f.buckets[sig] = append(prev, value)
+			case "_sum":
+				sc := f.sumCount[sig]
+				sc[0] = value
+				f.sumCount[sig] = sc
+			case "_count":
+				sc := f.sumCount[sig]
+				sc[1] = value
+				f.sumCount[sig] = sc
+			}
+		}
+	}
+	for name, f := range families {
+		if f.samples == 0 {
+			t.Errorf("family %s declared but has no samples", name)
+		}
+		for sig, inf := range f.infSeen {
+			if cum := f.buckets[sig]; len(cum) > 0 && cum[len(cum)-1] > inf {
+				t.Errorf("%s{%s}: finite bucket %g exceeds +Inf bucket %g", name, sig, cum[len(cum)-1], inf)
+			}
+			if sc := f.sumCount[sig]; sc[1] != inf {
+				t.Errorf("%s{%s}: _count %g != +Inf bucket %g", name, sig, sc[1], inf)
+			}
+		}
+	}
+}
+
+// parseSample splits `name{labels} value`, checking label quoting.
+func parseSample(t *testing.T, ln int, line string) (name, labels string, value float64) {
+	t.Helper()
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			t.Fatalf("line %d: unbalanced braces: %q", ln, line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], line[j+1:]
+		for _, pair := range splitLabelPairs(labels) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: malformed label pair %q", ln, pair)
+			}
+			if k == "" {
+				t.Fatalf("line %d: empty label name in %q", ln, pair)
+			}
+			inner := v[1 : len(v)-1]
+			for i := 0; i < len(inner); i++ {
+				switch inner[i] {
+				case '\\':
+					if i+1 >= len(inner) || !strings.ContainsRune(`\"n`, rune(inner[i+1])) {
+						t.Fatalf("line %d: bad escape in label value %q", ln, inner)
+					}
+					i++
+				case '"', '\n':
+					t.Fatalf("line %d: unescaped %q in label value %q", ln, inner[i], inner)
+				}
+			}
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: malformed sample %q", ln, line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(rest, " ")), 64)
+	if err != nil && strings.TrimSpace(rest) != "+Inf" {
+		t.Fatalf("line %d: bad value in %q: %v", ln, line, err)
+	}
+	return name, labels, v
+}
+
+// splitLE extracts the le label from a label block, returning its value
+// and the remaining pairs as the series signature.
+func splitLE(labels string) (le, sig string) {
+	var rest []string
+	for _, pair := range splitLabelPairs(labels) {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		rest = append(rest, pair)
+	}
+	return le, strings.Join(rest, ",")
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(s string) []string {
+	var out []string
+	var b strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\' && inQuote && i+1 < len(s):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(s[i])
+		case c == '"':
+			inQuote = !inQuote
+			b.WriteByte(c)
+		case c == ',' && !inQuote:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := buildTestRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q, want %q", ct, ContentType)
+	}
+}
+
+func TestGaugeFuncEvaluatedAtScrape(t *testing.T) {
+	r := New()
+	n := 0.0
+	r.GaugeFunc("live_value", "scrape-time value", func() float64 { n++; return n })
+	var a, b bytes.Buffer
+	r.WritePrometheus(&a)
+	r.WritePrometheus(&b)
+	if !strings.Contains(a.String(), "live_value 1") || !strings.Contains(b.String(), "live_value 2") {
+		t.Fatalf("gauge func not re-evaluated:\n%s\n%s", a.String(), b.String())
+	}
+}
+
+func TestSeriesSortedWithinFamily(t *testing.T) {
+	r := New()
+	for _, d := range []string{"zeta", "alpha", "mid"} {
+		r.Counter("sorted_total", "s", L("domain", d)).Inc()
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	var got []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "sorted_total{") {
+			got = append(got, line)
+		}
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("series not sorted: %v", got)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d series, want 3", len(got))
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := New()
+	r.Counter("example_total", "An example counter.").Add(3)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP example_total An example counter.
+	// # TYPE example_total counter
+	// example_total 3
+}

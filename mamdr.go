@@ -29,6 +29,7 @@ import (
 	"mamdr/internal/metrics"
 	"mamdr/internal/models"
 	"mamdr/internal/synth"
+	"mamdr/internal/telemetry"
 )
 
 // Dataset is a multi-domain recommendation dataset.
@@ -119,6 +120,13 @@ type TrainSpec struct {
 	Hidden []int
 	// Dropout is the model's dropout rate.
 	Dropout float64
+	// Metrics, when non-nil, receives training telemetry (per-domain
+	// loss/grad-norm gauges, DN step timings, the gradient-conflict
+	// histogram) for Prometheus exposition via Metrics.Handler().
+	Metrics *telemetry.Registry
+	// Events, when non-nil, receives one JSONL event per epoch so runs
+	// are replayable and plottable.
+	Events *telemetry.EventLog
 }
 
 // Result reports a finished training run.
@@ -170,6 +178,9 @@ func Train(spec TrainSpec) (*Result, error) {
 		OuterLR:   spec.OuterLR,
 		DRLR:      spec.DRLR,
 		SampleK:   spec.SampleK,
+	}
+	if spec.Metrics != nil || spec.Events != nil {
+		cfg.Telemetry = framework.NewTrainMetrics(spec.Metrics, spec.Dataset, spec.Events)
 	}
 	pred := fw.Fit(m, spec.Dataset, cfg)
 

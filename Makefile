@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-serve bench-telemetry ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry smoke-trace ci check
 
 all: check
 
@@ -12,6 +12,18 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Same pinned version as CI; install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@2023.1.7
+staticcheck:
+	staticcheck ./...
+
+# The CI distributed-smoke job locally: a 2-worker traced run whose
+# trace file must parse as Chrome trace-event JSON.
+smoke-trace:
+	$(GO) run ./cmd/mamdr-train -preset taobao-10 -samples 2000 -epochs 2 \
+		-ps-workers 2 -trace /tmp/smoke.trace.json
+	python3 -c "import json; e=json.load(open('/tmp/smoke.trace.json')); assert e, 'empty'; print('ok:', len(e), 'events')"
 
 # The PS and serving paths are the concurrent hot spots; keep them
 # race-clean.

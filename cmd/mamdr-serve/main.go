@@ -24,6 +24,7 @@ import (
 	"mamdr/internal/models"
 	"mamdr/internal/serve"
 	"mamdr/internal/telemetry"
+	"mamdr/internal/trace"
 )
 
 func main() {
@@ -44,6 +45,11 @@ func main() {
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus /metrics and instrument the request path")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		accessLog   = flag.String("access-log", "stderr", `structured JSON access log: "stderr", "stdout", a file path, or "off"`)
+
+		tracePath   = flag.String("trace", "", "stream per-request spans as JSONL to this file (serving never exits; use GET /debug/trace?sec=N for a Chrome/Perfetto capture)")
+		traceSample = flag.Float64("trace-sample", 1, "fraction of request root spans to record (0..1)")
+		flightDump  = flag.String("flight-dump", "", "flight-recorder dump path prefix for anomalies such as pool saturation (default <trace>.flight when -trace is set)")
+		withTrace   = flag.Bool("tracing", true, "enable request tracing and /debug/trace capture-on-demand")
 	)
 	flag.Parse()
 
@@ -82,11 +88,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Tracing: per-request spans with an optional JSONL stream; the
+	// flight recorder dumps recent spans when the replica pool
+	// saturates. Capture-on-demand Chrome JSON lives at /debug/trace.
+	var tracer *trace.Tracer
+	if *withTrace || *tracePath != "" || *flightDump != "" {
+		if *tracePath != "" && *flightDump == "" {
+			*flightDump = *tracePath + ".flight"
+		}
+		tracer = trace.New(trace.Options{Sample: *traceSample, FlightPath: *flightDump})
+		if *tracePath != "" {
+			exp, err := trace.OpenJSONLExporter(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer exp.Close()
+			tracer.AddSink(exp)
+			log.Printf("streaming spans to %s", *tracePath)
+		}
+	}
+
 	srv := serve.NewWithOptions(state, ds, serve.Options{
 		Replicas:       *replicas,
 		RequestTimeout: *timeout,
 		Metrics:        reg,
 		AccessLog:      logger,
+		Tracer:         tracer,
 		// Replicas mirror the trained model's structure (same Config,
 		// including Seed); their initial weights are irrelevant because
 		// every prediction restores a precomposed snapshot first.

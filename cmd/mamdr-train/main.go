@@ -26,6 +26,7 @@ import (
 	"mamdr/internal/models"
 	"mamdr/internal/ps"
 	"mamdr/internal/telemetry"
+	"mamdr/internal/trace"
 )
 
 func main() {
@@ -51,6 +52,10 @@ func main() {
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep /metrics up this long after training (for a final scrape)")
 		eventsPath    = flag.String("events", "", "append one JSONL event per epoch to this file")
 
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto or chrome://tracing)")
+		traceSample = flag.Float64("trace-sample", 1, "fraction of root spans to record (0..1)")
+		flightDump  = flag.String("flight-dump", "", "flight-recorder dump path prefix for anomalies (default <trace>.flight when -trace is set)")
+
 		psWorkers = flag.Int("ps-workers", 0, "run distributed PS-Worker training with this many workers (0 = single process; mamdr framework only)")
 		psShards  = flag.Int("ps-shards", 4, "parameter-server shard count for -ps-workers")
 		psCache   = flag.Bool("ps-cache", true, "enable the PS-Worker embedding cache (§IV-E) for -ps-workers")
@@ -73,6 +78,26 @@ func main() {
 		}
 	}
 
+	// Tracing: the tracer is built whenever -trace/-flight-dump asks for
+	// it, or when /metrics is up (so /debug/trace capture-on-demand
+	// works even without a trace file). Training spans flow into the
+	// Chrome exporter; the flight recorder dumps the recent span history
+	// when an anomaly (NaN loss, loss spike, RPC error) fires.
+	var (
+		tracer   *trace.Tracer
+		exporter *trace.ChromeExporter
+	)
+	if *tracePath != "" && *flightDump == "" {
+		*flightDump = *tracePath + ".flight"
+	}
+	if *tracePath != "" || *flightDump != "" || *metricsAddr != "" {
+		tracer = trace.New(trace.Options{Sample: *traceSample, FlightPath: *flightDump})
+		if *tracePath != "" {
+			exporter = trace.NewChromeExporter(*tracePath, 0)
+			tracer.AddSink(exporter)
+		}
+	}
+
 	// Observability: a private registry exposed over HTTP plus an
 	// append-only JSONL event log. Both are optional and free when off.
 	var reg *telemetry.Registry
@@ -81,6 +106,7 @@ func main() {
 		telemetry.RegisterGoRuntime(reg)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/trace", trace.CaptureHandler(tracer))
 		go func() {
 			log.Printf("serving /metrics on %s", *metricsAddr)
 			srv := &http.Server{Addr: *metricsAddr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
@@ -110,7 +136,7 @@ func main() {
 			workers: *psWorkers, shards: *psShards, cache: *psCache,
 			epochs: *epochs, batch: *batch, innerLR: *innerLR, outerLR: *outerLR,
 			drLR: *drLR, sampleK: *sampleK, embDim: *embDim, seed: *seed,
-		}, reg, events)
+		}, reg, events, tracer)
 	} else {
 		fmt.Printf("training %s with %s for %d epochs...\n", *model, *fw, *epochs)
 		res, err := mamdr.Train(mamdr.TrainSpec{
@@ -127,6 +153,7 @@ func main() {
 			Seed:      *seed,
 			Metrics:   reg,
 			Events:    events,
+			Tracer:    tracer,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -134,6 +161,19 @@ func main() {
 		valAUC, testAUC = res.ValAUC, res.TestAUC
 	}
 	fmt.Printf("trained in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	if exporter != nil {
+		if err := exporter.Close(); err != nil {
+			log.Printf("trace: %v", err)
+		} else {
+			log.Printf("trace: wrote %s", *tracePath)
+		}
+	}
+	if tracer != nil {
+		for _, d := range tracer.Flight().Dumps() {
+			log.Printf("trace: flight-recorder dump (%s): %s", d.Kind, d.Path)
+		}
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Domain\tSamples\tVal AUC\tTest AUC")
@@ -160,8 +200,9 @@ type trainOpts struct {
 
 // trainDistributed runs the PS-Worker trainer (the paper's industrial
 // deployment shape) with full telemetry: PS traffic, cache hit ratio,
-// row staleness, and the per-domain training series from every worker.
-func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemetry.Registry, events *telemetry.EventLog) (val, test []float64) {
+// row staleness, the per-domain training series from every worker, and
+// (with a tracer) one trace per worker epoch plus anomaly watching.
+func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemetry.Registry, events *telemetry.EventLog, tracer *trace.Tracer) (val, test []float64) {
 	replica := func() models.Model {
 		return models.MustNew(model, models.Config{Dataset: ds, EmbDim: o.embDim, Seed: o.seed})
 	}
@@ -172,15 +213,20 @@ func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemet
 	if reg != nil {
 		psm = ps.NewMetrics(reg)
 	}
-	if reg != nil || events != nil {
+	if reg != nil || events != nil || tracer != nil {
 		tm = framework.NewTrainMetrics(reg, ds, events)
+	}
+	if tracer != nil {
+		if f := tracer.Flight(); f != nil {
+			tm.Anomalies = telemetry.NewLossWatch(f, 0, 0)
+		}
 	}
 	res := ps.Train(replica, ds, ps.Options{
 		Workers: o.workers, Shards: o.shards, CacheEnabled: o.cache,
 		Epochs: o.epochs, BatchSize: o.batch,
 		InnerLR: o.innerLR, OuterLR: o.outerLR,
 		UseDR: true, SampleK: o.sampleK, DRLR: o.drLR,
-		Seed: o.seed, Metrics: psm, Telemetry: tm,
+		Seed: o.seed, Metrics: psm, Telemetry: tm, Tracer: tracer,
 	})
 	c := res.Counters
 	log.Printf("PS traffic: %d dense pulls, %d dense pushes, %d row pulls, %d row pushes, %d floats moved",

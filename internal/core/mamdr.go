@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"mamdr/internal/models"
 	"mamdr/internal/optim"
 	"mamdr/internal/paramvec"
+	"mamdr/internal/trace"
 )
 
 func init() {
@@ -163,17 +165,25 @@ func DomainNegotiationEpochOpt(st *State, ds *data.Dataset, cfg framework.Config
 			order[i] = i
 		}
 	}
+	ctx := cfg.Tracer.Context(context.Background())
+	ctx, epochSpan := trace.Start(ctx, "dn.epoch", trace.A("domains", ds.NumDomains()))
+	defer epochSpan.End()
+
 	rec := cfg.Telemetry.NewEpochRecorder(params, -1)
 	inner := optim.New(cfg.InnerOpt, cfg.LR)
 	for _, d := range order {
+		stepCtx, stepSpan := trace.Start(ctx, "dn.inner_step",
+			trace.A("domain", ds.Domains[d].Name))
 		rec.BeforePass()
-		loss := framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
-		rec.AfterPass(d, loss)
+		loss := framework.TrainDomainPassCtx(stepCtx, st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		stepSpan.EndWith(trace.A("loss", loss))
+		rec.AfterPassTC(d, loss, stepSpan.Context())
 	}
 	endpoint := paramvec.Snapshot(params)
 
 	// Treat -(endpoint - shared) as the outer gradient at Θ.
 	outerStart := time.Now()
+	_, outerSpan := trace.Start(ctx, "dn.outer_step")
 	paramvec.Restore(params, st.Shared)
 	for i, p := range params {
 		for j := range p.Data {
@@ -182,6 +192,7 @@ func DomainNegotiationEpochOpt(st *State, ds *data.Dataset, cfg framework.Config
 	}
 	outer.Step(params)
 	st.Shared = paramvec.Snapshot(params)
+	outerSpan.End()
 	rec.Finish(time.Since(outerStart).Seconds())
 }
 
@@ -191,12 +202,19 @@ func DomainNegotiationEpochOpt(st *State, ds *data.Dataset, cfg framework.Config
 func alternateEpoch(st *State, ds *data.Dataset, cfg framework.Config, rng *rand.Rand) {
 	params := st.Model.Parameters()
 	paramvec.Restore(params, st.Shared)
+	ctx := cfg.Tracer.Context(context.Background())
+	ctx, epochSpan := trace.Start(ctx, "alternate.epoch", trace.A("domains", ds.NumDomains()))
+	defer epochSpan.End()
+
 	rec := cfg.Telemetry.NewEpochRecorder(params, -1)
 	inner := optim.New(cfg.InnerOpt, cfg.LR)
 	for _, d := range rng.Perm(ds.NumDomains()) {
+		stepCtx, stepSpan := trace.Start(ctx, "alternate.inner_step",
+			trace.A("domain", ds.Domains[d].Name))
 		rec.BeforePass()
-		loss := framework.TrainDomainPass(st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
-		rec.AfterPass(d, loss)
+		loss := framework.TrainDomainPassCtx(stepCtx, st.Model, ds, d, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		stepSpan.EndWith(trace.A("loss", loss))
+		rec.AfterPassTC(d, loss, stepSpan.Context())
 	}
 	st.Shared = paramvec.Snapshot(params)
 	rec.Finish(-1)
@@ -229,22 +247,30 @@ func DomainRegularizationOpt(st *State, ds *data.Dataset, target int, cfg framew
 	params := st.Model.Parameters()
 	helpers := SampleHelpers(ds.NumDomains(), target, cfg.SampleK, rng)
 
+	ctx := cfg.Tracer.Context(context.Background())
+	ctx, drSpan := trace.Start(ctx, "dr.target",
+		trace.A("target", ds.Domains[target].Name), trace.A("helpers", len(helpers)))
+	defer drSpan.End()
+
 	for _, j := range helpers {
 		// θ̃_i ← θ_i (working in composed coordinates Θ = θ_S + θ_i).
 		composed := st.ComposedFor(target)
 		paramvec.Restore(params, composed)
 
+		laCtx, laSpan := trace.Start(ctx, "dr.lookahead",
+			trace.A("helper", ds.Domains[j].Name))
 		inner := optim.New(cfg.InnerOpt, cfg.LR)
 		// Update on helper domain j, then on the target domain i.
 		first, second := j, target
 		if opts.ReverseOrder {
 			first, second = target, j
 		}
-		framework.TrainDomainPass(st.Model, ds, first, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+		framework.TrainDomainPassCtx(laCtx, st.Model, ds, first, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
 		if !opts.SkipTargetStep {
-			loss := framework.TrainDomainPass(st.Model, ds, second, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
+			loss := framework.TrainDomainPassCtx(laCtx, st.Model, ds, second, inner, cfg.BatchSize, cfg.MaxBatchesPerDomain, rng)
 			cfg.Telemetry.ObserveDRPass(target, loss)
 		}
+		laSpan.End()
 
 		// θ_i ← θ_i + γ(θ̃_i − θ_i); in composed coordinates the
 		// difference of endpoints equals the difference of specifics.

@@ -13,6 +13,7 @@
 package framework
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -23,6 +24,7 @@ import (
 	"mamdr/internal/metrics"
 	"mamdr/internal/models"
 	"mamdr/internal/optim"
+	"mamdr/internal/trace"
 )
 
 // Config carries the hyper-parameters shared by all frameworks. Zero
@@ -56,6 +58,11 @@ type Config struct {
 	// cosine histogram — and emits JSONL epoch events. Nil (the
 	// default) disables instrumentation entirely.
 	Telemetry *TrainMetrics
+	// Tracer, when non-nil, emits structured spans for DN/DR training:
+	// one trace per epoch with per-domain inner steps, forward/backward/
+	// optimizer phases, and DR lookahead passes as children. Nil (the
+	// default) keeps training on the zero-overhead no-op path.
+	Tracer *trace.Tracer
 }
 
 // WithDefaults returns cfg with zero fields replaced by defaults.
@@ -172,6 +179,15 @@ func NewModelPredictor(m models.Model) Predictor { return modelPredictor{m} }
 // split: a full shuffled pass, capped at maxBatches when positive. It
 // returns the mean training loss over the consumed batches.
 func TrainDomainPass(m models.Model, ds *data.Dataset, domain int, opt optim.Optimizer, batchSize, maxBatches int, rng *rand.Rand) float64 {
+	return TrainDomainPassCtx(context.Background(), m, ds, domain, opt, batchSize, maxBatches, rng)
+}
+
+// TrainDomainPassCtx is TrainDomainPass under a trace context: when ctx
+// carries a sampled span, each mini-batch emits train.forward /
+// train.backward / train.optimizer child spans. With no span in ctx the
+// trace.Start calls are no-ops and the loop is identical to the
+// untraced path.
+func TrainDomainPassCtx(ctx context.Context, m models.Model, ds *data.Dataset, domain int, opt optim.Optimizer, batchSize, maxBatches int, rng *rand.Rand) float64 {
 	batches := ds.Batches(domain, data.Train, batchSize, rng)
 	if maxBatches > 0 && len(batches) > maxBatches {
 		batches = batches[:maxBatches]
@@ -182,9 +198,16 @@ func TrainDomainPass(m models.Model, ds *data.Dataset, domain int, opt optim.Opt
 		for _, p := range params {
 			p.ZeroGrad()
 		}
-		loss := autograd.BCEWithLogits(m.Forward(b, true), b.Labels)
+		_, fw := trace.Start(ctx, "train.forward")
+		logits := m.Forward(b, true)
+		loss := autograd.BCEWithLogits(logits, b.Labels)
+		fw.End()
+		_, bw := trace.Start(ctx, "train.backward")
 		loss.Backward()
+		bw.End()
+		_, op := trace.Start(ctx, "train.optimizer")
 		opt.Step(params)
+		op.End()
 		total += loss.Item()
 	}
 	if len(batches) == 0 {

@@ -9,6 +9,7 @@ import (
 	"mamdr/internal/data"
 	"mamdr/internal/paramvec"
 	"mamdr/internal/telemetry"
+	"mamdr/internal/trace"
 )
 
 // TrainMetrics bundles the training-side instruments: per-domain loss
@@ -21,6 +22,13 @@ import (
 // All methods are nil-receiver-safe; a nil *TrainMetrics disables
 // instrumentation entirely, so call sites never branch.
 type TrainMetrics struct {
+	// Anomalies, when non-nil, receives every finished pass's loss for
+	// NaN/Inf and z-score spike detection; the sink behind it (usually
+	// a tracing flight recorder) dumps the run-up when one fires. Set
+	// it before training starts — the field is read concurrently by
+	// worker goroutines but never written during training.
+	Anomalies *telemetry.LossWatch
+
 	names  []string
 	events *telemetry.EventLog
 
@@ -132,6 +140,14 @@ func (r *EpochRecorder) BeforePass() {
 // norm gauges, inner-step timing, and the parameter delta the pass
 // produced (for the conflict histogram).
 func (r *EpochRecorder) AfterPass(domain int, loss float64) {
+	r.AfterPassTC(domain, loss, trace.TraceContext{})
+}
+
+// AfterPassTC is AfterPass carrying the trace context of the span that
+// produced the pass, so an anomaly raised by the loss watcher (NaN,
+// z-score spike) can point straight at the offending span in the
+// flight-recorder dump.
+func (r *EpochRecorder) AfterPassTC(domain int, loss float64, tc trace.TraceContext) {
 	if r == nil {
 		return
 	}
@@ -147,6 +163,17 @@ func (r *EpochRecorder) AfterPass(domain int, loss float64) {
 	r.norms = append(r.norms, norm)
 	r.deltas = append(r.deltas, paramvec.Sub(after, r.prev))
 	r.prev = nil
+
+	if r.tm.Anomalies != nil {
+		fields := map[string]any{"domain": r.tm.DomainName(domain), "loss": loss}
+		if r.worker >= 0 {
+			fields["worker"] = r.worker
+		}
+		if tc.Valid() {
+			fields["trace_id"], fields["span_id"] = tc.TraceID, tc.SpanID
+		}
+		r.tm.Anomalies.Observe(r.tm.DomainName(domain), loss, fields)
+	}
 }
 
 // Finish closes the epoch: pairwise delta cosines feed the conflict

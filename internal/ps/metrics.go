@@ -28,8 +28,9 @@ type Metrics struct {
 	hitRatio                *telemetry.Gauge
 	staleness               *telemetry.Histogram
 
-	mu        sync.Mutex
-	rowFloats map[int]*telemetry.Counter // per-tensor row-sync volume
+	mu          sync.Mutex
+	rowFloats   map[int]*telemetry.Counter    // per-tensor row-sync volume
+	rpcFailures map[string]*telemetry.Counter // per-method RPC failures
 }
 
 // NewMetrics registers the PS series in reg. A nil registry yields a
@@ -59,8 +60,28 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		staleness: reg.Histogram("mamdr_ps_row_staleness_batches",
 			"Local mini-batches a cached embedding row aged between its PS pull and its delta push.",
 			telemetry.ExponentialBuckets(1, 2, 9)),
-		rowFloats: map[int]*telemetry.Counter{},
+		rowFloats:   map[int]*telemetry.Counter{},
+		rpcFailures: map[string]*telemetry.Counter{},
 	}
+}
+
+// observeRPCFailure counts one failed RPC call by method. It is on
+// the failure path only, so the mutex-guarded lookup costs nothing in
+// healthy runs.
+func (m *Metrics) observeRPCFailure(method string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c, ok := m.rpcFailures[method]
+	if !ok {
+		c = m.reg.Counter("mamdr_ps_rpc_failures_total",
+			"Failed worker-to-PS RPC calls by method (including failed retries).",
+			telemetry.L("method", method))
+		m.rpcFailures[method] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
 }
 
 // observeDensePull records one PullDense serving n floats.

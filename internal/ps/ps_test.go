@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"testing"
@@ -83,7 +84,7 @@ func TestServerPullDenseExcludesEmbeddings(t *testing.T) {
 		autograd.Param(2, 2, []float64{1, 2, 3, 4}),
 	}
 	s := NewServer(params, map[int]int{0: 0}, 2, "sgd", 1)
-	dense := s.PullDense()
+	dense := s.PullDense(context.Background())
 	if _, has := dense[0]; has {
 		t.Fatal("embedding tensor returned by PullDense")
 	}
@@ -95,11 +96,11 @@ func TestServerPullDenseExcludesEmbeddings(t *testing.T) {
 func TestServerPullRowsLatestValues(t *testing.T) {
 	params := []*autograd.Tensor{autograd.ParamZeros(100, 2)}
 	s := NewServer(params, map[int]int{0: 0}, 1, "sgd", 1)
-	s.PushDelta(Delta{
+	s.PushDelta(context.Background(), Delta{
 		Rows:      map[int][]int{0: {7}},
 		RowDeltas: map[int][][]float64{0: {{1.5, -2}}},
 	})
-	rows := s.PullRows(0, []int{7, 8})
+	rows := s.PullRows(context.Background(), 0, []int{7, 8})
 	if rows[0][0] != 1.5 || rows[0][1] != -2 {
 		t.Fatalf("row 7 = %v, want [1.5 -2]", rows[0])
 	}
@@ -115,13 +116,13 @@ func TestServerPullRowsOnDensePanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	s.PullRows(0, []int{0})
+	s.PullRows(context.Background(), 0, []int{0})
 }
 
 func TestServerOuterUpdateAppliesBeta(t *testing.T) {
 	params := []*autograd.Tensor{autograd.Param(1, 2, []float64{0, 0})}
 	s := NewServer(params, nil, 1, "sgd", 0.5)
-	s.PushDelta(Delta{Dense: map[int][]float64{0: {2, -4}}})
+	s.PushDelta(context.Background(), Delta{Dense: map[int][]float64{0: {2, -4}}})
 	snap := s.Snapshot()
 	// Eq. 3: θ += β * delta = 0.5 * [2, -4].
 	if snap[0][0] != 1 || snap[0][1] != -2 {
@@ -132,9 +133,9 @@ func TestServerOuterUpdateAppliesBeta(t *testing.T) {
 func TestServerAdagradStatePersistsAcrossPushes(t *testing.T) {
 	params := []*autograd.Tensor{autograd.Param(1, 1, []float64{0})}
 	s := NewServer(params, nil, 1, "adagrad", 1)
-	s.PushDelta(Delta{Dense: map[int][]float64{0: {1}}})
+	s.PushDelta(context.Background(), Delta{Dense: map[int][]float64{0: {1}}})
 	v1 := s.Snapshot()[0][0]
-	s.PushDelta(Delta{Dense: map[int][]float64{0: {1}}})
+	s.PushDelta(context.Background(), Delta{Dense: map[int][]float64{0: {1}}})
 	v2 := s.Snapshot()[0][0] - v1
 	if v2 >= v1 {
 		t.Fatalf("second adagrad step (%g) should be smaller than first (%g)", v2, v1)
@@ -144,9 +145,9 @@ func TestServerAdagradStatePersistsAcrossPushes(t *testing.T) {
 func TestCountersTally(t *testing.T) {
 	params := []*autograd.Tensor{autograd.ParamZeros(100, 2), autograd.ParamZeros(1, 3)}
 	s := NewServer(params, map[int]int{0: 0}, 1, "sgd", 1)
-	s.PullDense()
-	s.PullRows(0, []int{1, 2, 3})
-	s.PushDelta(Delta{Dense: map[int][]float64{1: {0, 0, 0}}})
+	s.PullDense(context.Background())
+	s.PullRows(context.Background(), 0, []int{1, 2, 3})
+	s.PushDelta(context.Background(), Delta{Dense: map[int][]float64{1: {0, 0, 0}}})
 	c := s.Counters()
 	if c.DensePulls != 1 || c.RowPulls != 3 || c.DensePushes != 1 {
 		t.Fatalf("counters = %+v", c)
@@ -161,17 +162,17 @@ func TestDensePushCounterIgnoresRowOnlyAndEmptyPushes(t *testing.T) {
 	s := NewServer(params, map[int]int{0: 0}, 1, "sgd", 1)
 
 	// A push carrying only embedding rows must not count as a dense push.
-	s.PushDelta(Delta{
+	s.PushDelta(context.Background(), Delta{
 		Rows:      map[int][]int{0: {5}},
 		RowDeltas: map[int][][]float64{0: {{1, 1}}},
 	})
 	// Neither must an empty push.
-	s.PushDelta(Delta{})
+	s.PushDelta(context.Background(), Delta{})
 	if c := s.Counters(); c.DensePushes != 0 {
 		t.Fatalf("row-only/empty pushes counted as dense: %+v", c)
 	}
 
-	s.PushDelta(Delta{Dense: map[int][]float64{1: {0, 0, 0}}})
+	s.PushDelta(context.Background(), Delta{Dense: map[int][]float64{1: {0, 0, 0}}})
 	if c := s.Counters(); c.DensePushes != 1 || c.RowPushes != 1 {
 		t.Fatalf("counters = %+v", c)
 	}
@@ -253,9 +254,9 @@ func TestConcurrentPushesAreSafe(t *testing.T) {
 			defer func() { done <- struct{}{} }()
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < 50; i++ {
-				s.PullDense()
-				s.PullRows(0, []int{rng.Intn(200)})
-				s.PushDelta(Delta{
+				s.PullDense(context.Background())
+				s.PullRows(context.Background(), 0, []int{rng.Intn(200)})
+				s.PushDelta(context.Background(), Delta{
 					Dense:     map[int][]float64{1: make([]float64, 16)},
 					Rows:      map[int][]int{0: {rng.Intn(200)}},
 					RowDeltas: map[int][][]float64{0: {{0.1, 0.1, 0.1, 0.1}}},

@@ -1,29 +1,58 @@
 package ps
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/rpc"
+	"sync"
+
+	"mamdr/internal/trace"
 )
 
 // The RPC transport lets workers talk to a parameter server across a
 // real socket via net/rpc + gob, demonstrating that the protocol in
 // worker.go is architecture-level: the same Worker code drives an
 // in-process Server and a remote one.
+//
+// Every data call's arguments carry a trace.TraceContext, so the
+// server-side span of a PullDense/PullRows/PushDelta links to the
+// worker-side span that issued it even though the two ends run in
+// different processes.
 
 // RPCService adapts a Server to net/rpc's method signature conventions.
 type RPCService struct {
 	server *Server
 }
 
+// PullDenseArgs carries a PullDense request.
+type PullDenseArgs struct {
+	TC trace.TraceContext
+}
+
 // PullRowsArgs carries a PullRows request.
 type PullRowsArgs struct {
+	TC     trace.TraceContext
 	Tensor int
 	Rows   []int
 }
 
+// PushDeltaArgs carries a PushDelta request.
+type PushDeltaArgs struct {
+	TC    trace.TraceContext
+	Delta Delta
+}
+
 // Nothing is an empty argument/reply placeholder.
 type Nothing struct{}
+
+// remoteCtx rebuilds the calling worker's trace context on the server
+// side, so the server's span joins the worker's trace.
+func (s *RPCService) remoteCtx(tc trace.TraceContext) context.Context {
+	return trace.WithRemote(context.Background(), s.server.tracer, tc)
+}
 
 // Layout returns the server's tensor layout.
 func (s *RPCService) Layout(_ Nothing, reply *Layout) error {
@@ -32,20 +61,20 @@ func (s *RPCService) Layout(_ Nothing, reply *Layout) error {
 }
 
 // PullDense returns all dense tensors.
-func (s *RPCService) PullDense(_ Nothing, reply *map[int][]float64) error {
-	*reply = s.server.PullDense()
+func (s *RPCService) PullDense(args PullDenseArgs, reply *map[int][]float64) error {
+	*reply = s.server.PullDense(s.remoteCtx(args.TC))
 	return nil
 }
 
 // PullRows returns the requested embedding rows.
 func (s *RPCService) PullRows(args PullRowsArgs, reply *[][]float64) error {
-	*reply = s.server.PullRows(args.Tensor, args.Rows)
+	*reply = s.server.PullRows(s.remoteCtx(args.TC), args.Tensor, args.Rows)
 	return nil
 }
 
 // PushDelta applies a worker's outer-loop delta.
-func (s *RPCService) PushDelta(d Delta, _ *Nothing) error {
-	s.server.PushDelta(d)
+func (s *RPCService) PushDelta(args PushDeltaArgs, _ *Nothing) error {
+	s.server.PushDelta(s.remoteCtx(args.TC), args.Delta)
 	return nil
 }
 
@@ -74,8 +103,16 @@ func Serve(server *Server, lis net.Listener) {
 
 // Client is a Store backed by a remote parameter server.
 type Client struct {
+	mu     sync.Mutex
 	c      *rpc.Client
+	addr   string
 	layout Layout
+
+	// metrics counts RPC failures (and, like the server, mirrors
+	// nothing when nil); tracer raises an rpc_error anomaly into the
+	// flight recorder on a call failure.
+	metrics *Metrics
+	tracer  *trace.Tracer
 }
 
 var _ Store = (*Client)(nil)
@@ -86,50 +123,123 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ps: dial %s: %w", addr, err)
 	}
-	cl := &Client{c: c}
+	cl := &Client{c: c, addr: addr}
 	if err := c.Call("PS.Layout", Nothing{}, &cl.layout); err != nil {
 		c.Close()
-		return nil, fmt.Errorf("ps: fetch layout: %w", err)
+		return nil, fmt.Errorf("ps: fetch layout from %s: %w", addr, err)
 	}
 	return cl, nil
 }
 
+// SetMetrics attaches failure counters. Attach before issuing calls.
+func (cl *Client) SetMetrics(m *Metrics) { cl.metrics = m }
+
+// SetTracer attaches the worker-side tracer so call failures raise an
+// rpc_error anomaly into its flight recorder. Attach before issuing
+// calls.
+func (cl *Client) SetTracer(t *trace.Tracer) { cl.tracer = t }
+
 // Close releases the connection.
-func (cl *Client) Close() error { return cl.c.Close() }
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.c.Close()
+}
+
+// conn returns the current connection.
+func (cl *Client) conn() *rpc.Client {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.c
+}
+
+// redial replaces a connection that failed mid-call. Only the first
+// caller holding the broken connection reconnects; racers that arrive
+// after the swap reuse the fresh one.
+func (cl *Client) redial(broken *rpc.Client) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.c != broken {
+		return nil // another goroutine already reconnected
+	}
+	c, err := rpc.Dial("tcp", cl.addr)
+	if err != nil {
+		return err
+	}
+	cl.c.Close()
+	cl.c = c
+	return nil
+}
+
+// transient reports whether an RPC failure is plausibly recoverable by
+// reconnecting: a shut-down client, a dropped connection, or any
+// network-level error — as opposed to a server-side application error.
+func transient(err error) bool {
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// call performs one RPC. Failures are counted in the telemetry
+// registry and raise an rpc_error anomaly (dumping the flight
+// recorder) before panicking with the remote address and method — a
+// worker cannot make progress without its parameter server, but the
+// operator should learn *which* server and call died, with the spans
+// leading up to it. Idempotent calls (retry=true: the pulls) get one
+// bounded reconnect-and-retry on transient transport errors first.
+func (cl *Client) call(ctx context.Context, method string, args, reply any, retry bool) {
+	conn := cl.conn()
+	err := conn.Call(method, args, reply)
+	if err == nil {
+		return
+	}
+	cl.metrics.observeRPCFailure(method)
+	if retry && transient(err) {
+		if rerr := cl.redial(conn); rerr == nil {
+			if err = cl.conn().Call(method, args, reply); err == nil {
+				return
+			}
+			cl.metrics.observeRPCFailure(method)
+		}
+	}
+	fields := map[string]any{"method": method, "addr": cl.addr, "error": err.Error()}
+	if tc := trace.ContextOf(ctx); tc.Valid() {
+		fields["trace_id"], fields["span_id"] = tc.TraceID, tc.SpanID
+	}
+	cl.tracer.Flight().Trigger("rpc_error", fields)
+	panic(fmt.Sprintf("ps: rpc %s to %s: %v", method, cl.addr, err))
+}
 
 // Layout implements Store.
 func (cl *Client) Layout() Layout { return cl.layout }
 
 // PullDense implements Store.
-func (cl *Client) PullDense() map[int][]float64 {
+func (cl *Client) PullDense(ctx context.Context) map[int][]float64 {
 	var reply map[int][]float64
-	if err := cl.c.Call("PS.PullDense", Nothing{}, &reply); err != nil {
-		panic(fmt.Sprintf("ps: PullDense: %v", err))
-	}
+	cl.call(ctx, "PS.PullDense", PullDenseArgs{TC: trace.ContextOf(ctx)}, &reply, true)
 	return reply
 }
 
 // PullRows implements Store.
-func (cl *Client) PullRows(tensor int, rows []int) [][]float64 {
+func (cl *Client) PullRows(ctx context.Context, tensor int, rows []int) [][]float64 {
 	var reply [][]float64
-	if err := cl.c.Call("PS.PullRows", PullRowsArgs{Tensor: tensor, Rows: rows}, &reply); err != nil {
-		panic(fmt.Sprintf("ps: PullRows: %v", err))
-	}
+	cl.call(ctx, "PS.PullRows", PullRowsArgs{TC: trace.ContextOf(ctx), Tensor: tensor, Rows: rows}, &reply, true)
 	return reply
 }
 
-// PushDelta implements Store.
-func (cl *Client) PushDelta(d Delta) {
-	if err := cl.c.Call("PS.PushDelta", d, &Nothing{}); err != nil {
-		panic(fmt.Sprintf("ps: PushDelta: %v", err))
-	}
+// PushDelta implements Store. Pushes are not idempotent (the server
+// folds each delta into its optimizer state), so they are never
+// retried: a transient failure mid-push still panics rather than risk
+// double-applying an update.
+func (cl *Client) PushDelta(ctx context.Context, d Delta) {
+	cl.call(ctx, "PS.PushDelta", PushDeltaArgs{TC: trace.ContextOf(ctx), Delta: d}, &Nothing{}, false)
 }
 
 // Counters implements Store.
 func (cl *Client) Counters() Counters {
 	var reply Counters
-	if err := cl.c.Call("PS.Counters", Nothing{}, &reply); err != nil {
-		panic(fmt.Sprintf("ps: Counters: %v", err))
-	}
+	cl.call(context.Background(), "PS.Counters", Nothing{}, &reply, true)
 	return reply
 }

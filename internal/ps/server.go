@@ -11,6 +11,7 @@
 package ps
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 	"mamdr/internal/autograd"
 	"mamdr/internal/optim"
 	"mamdr/internal/paramvec"
+	"mamdr/internal/trace"
 )
 
 // Layout describes the parameter tensors managed by a server: their
@@ -109,19 +111,24 @@ type Counters struct {
 	FloatsMoved int64
 }
 
-// Store is the worker-side view of a parameter server.
+// Store is the worker-side view of a parameter server. Every data
+// operation takes a context: the worker's active trace span rides in
+// it, so the server-side span of each synchronization call — whether
+// the store is in-process or across the net/rpc socket — links to the
+// exact inner-loop step that issued it. Callers without tracing pass
+// context.Background() and pay nothing.
 type Store interface {
 	// Layout returns the managed tensor layout.
 	Layout() Layout
 	// PullDense returns the current values of all dense (non-embedding)
 	// tensors, keyed by tensor index.
-	PullDense() map[int][]float64
+	PullDense(ctx context.Context) map[int][]float64
 	// PullRows returns the latest values of the requested embedding rows.
-	PullRows(tensor int, rows []int) [][]float64
+	PullRows(ctx context.Context, tensor int, rows []int) [][]float64
 	// PushDelta applies an outer update (Eq. 3): for dense tensors the
 	// full delta Θ̃−Θ, for embeddings only the touched rows' deltas. The
 	// server feeds -(delta) to its outer optimizer.
-	PushDelta(d Delta)
+	PushDelta(ctx context.Context, d Delta)
 	// Counters returns a snapshot of the traffic counters.
 	Counters() Counters
 }
@@ -153,12 +160,24 @@ type Server struct {
 	// metrics mirrors the counters into telemetry series when attached
 	// via SetMetrics; nil means uninstrumented.
 	metrics *Metrics
+	// tracer emits server-side spans for every synchronization call;
+	// the RPC transport uses it to adopt remote TraceContexts. Nil
+	// means untraced.
+	tracer *trace.Tracer
 }
 
 // SetMetrics attaches a telemetry mirror for the traffic counters.
 // Attach before serving traffic; the field is not synchronized against
 // in-flight calls.
 func (s *Server) SetMetrics(m *Metrics) { s.metrics = m }
+
+// SetTracer attaches a tracer for server-side spans. Attach before
+// serving traffic; the field is not synchronized against in-flight
+// calls.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// Tracer returns the attached tracer (nil when untraced).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 
 type shard struct {
 	mu sync.Mutex
@@ -209,7 +228,8 @@ func NewServer(params []*autograd.Tensor, tables map[int]int, numShards int, out
 func (s *Server) Layout() Layout { return s.layout }
 
 // PullDense implements Store.
-func (s *Server) PullDense() map[int][]float64 {
+func (s *Server) PullDense(ctx context.Context) map[int][]float64 {
+	_, sp := trace.Start(ctx, "ps.pull_dense")
 	out := map[int][]float64{}
 	var floats int
 	for t := 0; t < s.layout.NumTensors(); t++ {
@@ -225,14 +245,17 @@ func (s *Server) PullDense() map[int][]float64 {
 	}
 	atomic.AddInt64(&s.counters.densePulls, 1)
 	s.metrics.observeDensePull(floats)
+	sp.EndWith(trace.A("floats", floats))
 	return out
 }
 
 // PullRows implements Store.
-func (s *Server) PullRows(tensor int, rows []int) [][]float64 {
+func (s *Server) PullRows(ctx context.Context, tensor int, rows []int) [][]float64 {
 	if !s.layout.Embedding[tensor] {
 		panic(fmt.Sprintf("ps: PullRows on dense tensor %d", tensor))
 	}
+	_, sp := trace.Start(ctx, "ps.pull_rows", trace.A("tensor", tensor), trace.A("rows", len(rows)))
+	defer sp.End()
 	cols := s.layout.Cols[tensor]
 	sh := s.shards[s.shardOf[tensor]]
 	out := make([][]float64, len(rows))
@@ -254,7 +277,10 @@ func (s *Server) PullRows(tensor int, rows []int) [][]float64 {
 // DensePushes counts only pushes that actually carry dense deltas, so
 // the synchronization-overhead experiment is not inflated by row-only
 // or empty pushes.
-func (s *Server) PushDelta(d Delta) {
+func (s *Server) PushDelta(ctx context.Context, d Delta) {
+	_, sp := trace.Start(ctx, "ps.push_delta",
+		trace.A("dense_tensors", len(d.Dense)), trace.A("row_tensors", len(d.Rows)))
+	defer sp.End()
 	if len(d.Dense) > 0 {
 		atomic.AddInt64(&s.counters.densePushes, 1)
 		s.metrics.observeDensePush()

@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -33,7 +34,7 @@ func newStaleStore(inner *Server, lag int) *staleStore {
 }
 
 func (s *staleStore) record() {
-	pair := snapshotPair{dense: s.inner.PullDense(), rows: map[int]map[int][]float64{}}
+	pair := snapshotPair{dense: s.inner.PullDense(context.Background()), rows: map[int]map[int][]float64{}}
 	layout := s.inner.Layout()
 	for t := 0; t < layout.NumTensors(); t++ {
 		if !layout.Embedding[t] {
@@ -43,7 +44,7 @@ func (s *staleStore) record() {
 		for r := range all {
 			all[r] = r
 		}
-		vals := s.inner.PullRows(t, all)
+		vals := s.inner.PullRows(context.Background(), t, all)
 		pair.rows[t] = map[int][]float64{}
 		for r, v := range vals {
 			pair.rows[t][r] = v
@@ -67,7 +68,7 @@ func (s *staleStore) stale() snapshotPair {
 func (s *staleStore) Layout() Layout { return s.inner.Layout() }
 
 // PullDense implements Store, serving lagged values.
-func (s *staleStore) PullDense() map[int][]float64 {
+func (s *staleStore) PullDense(_ context.Context) map[int][]float64 {
 	src := s.stale().dense
 	out := map[int][]float64{}
 	for t, v := range src {
@@ -77,7 +78,7 @@ func (s *staleStore) PullDense() map[int][]float64 {
 }
 
 // PullRows implements Store, serving lagged values.
-func (s *staleStore) PullRows(tensor int, rows []int) [][]float64 {
+func (s *staleStore) PullRows(_ context.Context, tensor int, rows []int) [][]float64 {
 	src := s.stale().rows[tensor]
 	out := make([][]float64, len(rows))
 	for i, r := range rows {
@@ -88,8 +89,8 @@ func (s *staleStore) PullRows(tensor int, rows []int) [][]float64 {
 
 // PushDelta implements Store: applied immediately, then the visible
 // snapshot advances by one.
-func (s *staleStore) PushDelta(d Delta) {
-	s.inner.PushDelta(d)
+func (s *staleStore) PushDelta(ctx context.Context, d Delta) {
+	s.inner.PushDelta(ctx, d)
 	s.record()
 }
 
@@ -140,10 +141,10 @@ func TestStaleStoreActuallyLags(t *testing.T) {
 	for i := range delta {
 		delta[i] = 1
 	}
-	store.PushDelta(Delta{Dense: map[int][]float64{denseT: delta}})
+	store.PushDelta(context.Background(), Delta{Dense: map[int][]float64{denseT: delta}})
 
-	fresh := server.PullDense()[denseT][0]
-	lagged := store.PullDense()[denseT][0]
+	fresh := server.PullDense(context.Background())[denseT][0]
+	lagged := store.PullDense(context.Background())[denseT][0]
 	if fresh == lagged {
 		t.Fatalf("stale store not lagging: fresh=%g lagged=%g", fresh, lagged)
 	}

@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"bytes"
 	"math/rand"
 	"strings"
@@ -51,7 +52,7 @@ func TestCountersRaceSafe(t *testing.T) {
 			defer writerWg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < iters; i++ {
-				s.PushDelta(Delta{
+				s.PushDelta(context.Background(), Delta{
 					Dense:     map[int][]float64{1: make([]float64, 16)},
 					Rows:      map[int][]int{0: {rng.Intn(200)}},
 					RowDeltas: map[int][][]float64{0: {{0.1, 0.1, 0.1, 0.1}}},
@@ -81,9 +82,9 @@ func TestServerMetricsMirrorCounters(t *testing.T) {
 	s := NewServer(params, map[int]int{0: 0}, 1, "sgd", 1)
 	s.SetMetrics(NewMetrics(reg))
 
-	s.PullDense()
-	s.PullRows(0, []int{1, 2, 3})
-	s.PushDelta(Delta{
+	s.PullDense(context.Background())
+	s.PullRows(context.Background(), 0, []int{1, 2, 3})
+	s.PushDelta(context.Background(), Delta{
 		Dense:     map[int][]float64{1: {0, 0, 0}},
 		Rows:      map[int][]int{0: {5, 6}},
 		RowDeltas: map[int][][]float64{0: {{1, 1}, {2, 2}}},

@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 
@@ -9,6 +10,7 @@ import (
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/paramvec"
+	"mamdr/internal/trace"
 )
 
 // Options configures distributed MAMDR training.
@@ -47,6 +49,12 @@ type Options struct {
 	// from every worker's inner loops — the same series as
 	// single-process training, tagged by worker in the event log.
 	Telemetry *framework.TrainMetrics
+	// Tracer, when non-nil, emits one trace per worker epoch (inner
+	// steps, per-batch phases, PS pulls/pushes) and arms the flight
+	// recorder for training anomalies. In-process stores share the
+	// tracer between worker and server sides; over RPC the trace
+	// context travels in the call arguments instead.
+	Tracer *trace.Tracer
 }
 
 // WithDefaults fills zero fields with the benchmark-scale defaults.
@@ -107,6 +115,7 @@ func Train(replica func() models.Model, ds *data.Dataset, opts Options) *Result 
 	tables := models.EmbeddingTablesOf(serving)
 	server := NewServer(serving.Parameters(), tables, opts.Shards, opts.OuterOpt, opts.OuterLR)
 	server.SetMetrics(opts.Metrics)
+	server.SetTracer(opts.Tracer)
 	return TrainWithStore(replica, serving, server, server, ds, opts)
 }
 
@@ -130,6 +139,7 @@ func TrainWithStore(replica func() models.Model, serving models.Model, store Sto
 		w.InnerOpt, w.InnerLR = opts.InnerOpt, opts.InnerLR
 		w.BatchSize, w.MaxBatchesPerDomain = opts.BatchSize, opts.MaxBatchesPerDomain
 		w.Metrics, w.Telemetry = opts.Metrics, opts.Telemetry
+		w.Tracer = opts.Tracer
 		workers[i] = w
 	}
 
@@ -162,7 +172,7 @@ func TrainWithStore(replica func() models.Model, serving models.Model, store Sto
 			Epochs: 1, BatchSize: opts.BatchSize, LR: opts.InnerLR,
 			InnerOpt: opts.InnerOpt, SampleK: opts.SampleK, DRLR: opts.DRLR,
 			MaxBatchesPerDomain: opts.MaxBatchesPerDomain, Seed: opts.Seed,
-			Telemetry: opts.Telemetry,
+			Telemetry: opts.Telemetry, Tracer: opts.Tracer,
 		}.WithDefaults()
 		var wg sync.WaitGroup
 		var mu sync.Mutex
@@ -199,10 +209,11 @@ func storeSnapshot(store Store, serving models.Model) paramvec.Vector {
 	if s, ok := store.(*Server); ok {
 		return s.Snapshot()
 	}
+	ctx := context.Background()
 	layout := store.Layout()
 	params := serving.Parameters()
 	out := paramvec.Snapshot(params)
-	dense := store.PullDense()
+	dense := store.PullDense(ctx)
 	for t, vals := range dense {
 		copy(out[t], vals)
 	}
@@ -214,7 +225,7 @@ func storeSnapshot(store Store, serving models.Model) paramvec.Vector {
 		for r := range rows {
 			rows[r] = r
 		}
-		vals := store.PullRows(t, rows)
+		vals := store.PullRows(ctx, t, rows)
 		cols := layout.Cols[t]
 		for r, v := range vals {
 			copy(out[t][r*cols:(r+1)*cols], v)

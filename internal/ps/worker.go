@@ -1,6 +1,7 @@
 package ps
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/optim"
+	"mamdr/internal/trace"
 )
 
 // Worker runs MAMDR's inner loops on a model replica over an assigned
@@ -49,6 +51,11 @@ type Worker struct {
 	// tagged with the worker id in the event log.
 	Metrics   *Metrics
 	Telemetry *framework.TrainMetrics
+	// Tracer, when non-nil, emits one trace per epoch: worker.epoch →
+	// worker.inner_step per domain → per-batch forward/backward/
+	// optimizer phase spans, with every PS pull and push parented to
+	// the step that issued it (across the RPC socket too).
+	Tracer *trace.Tracer
 
 	params []*autograd.Tensor
 	// static holds the epoch-start values: full tensors for dense
@@ -110,7 +117,11 @@ func (w *Worker) verifyLayout() {
 // RunEpoch executes one DN inner loop over the worker's domains and
 // pushes the outer-loop delta to the parameter server.
 func (w *Worker) RunEpoch(rng *rand.Rand) {
-	w.pullDense()
+	ctx := w.Tracer.Context(context.Background())
+	ctx, epochSpan := trace.Start(ctx, "worker.epoch", trace.A("worker", w.ID))
+	defer epochSpan.End()
+
+	w.pullDense(ctx)
 	w.staticRows = map[int]map[int][]float64{}
 	w.dynamicRows = map[int]map[int]bool{}
 	w.rowPulledAt = map[int]map[int]int{}
@@ -125,23 +136,36 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 		if w.MaxBatchesPerDomain > 0 && len(batches) > w.MaxBatchesPerDomain {
 			batches = batches[:w.MaxBatchesPerDomain]
 		}
+		dname := w.Telemetry.DomainName(d)
+		if dname == "" { // no telemetry attached; fall back to the id
+			dname = fmt.Sprintf("domain-%d", d)
+		}
+		stepCtx, stepSpan := trace.Start(ctx, "worker.inner_step",
+			trace.A("worker", w.ID), trace.A("domain", dname),
+			trace.A("batches", len(batches)))
 		rec.BeforePass()
 		var total float64
 		for _, b := range batches {
-			w.resolveEmbeddingRows(b)
+			w.resolveEmbeddingRows(stepCtx, b)
 			for _, p := range w.params {
 				p.ZeroGrad()
 			}
+			_, fw := trace.Start(stepCtx, "train.forward")
 			loss := autograd.BCEWithLogits(w.Model.Forward(b, true), b.Labels)
+			fw.End()
+			_, bw := trace.Start(stepCtx, "train.backward")
 			loss.Backward()
+			bw.End()
+			_, op := trace.Start(stepCtx, "train.optimizer")
 			inner.Step(w.params)
+			op.End()
 			total += loss.Item()
 			w.batchClock++
 			if !w.CacheEnabled {
 				// Naive protocol: push this batch's deltas right away
 				// and drop the cache so the next batch re-pulls.
-				w.pushDelta()
-				w.pullDense()
+				w.pushDelta(stepCtx)
+				w.pullDense(stepCtx)
 				w.staticRows = map[int]map[int][]float64{}
 				w.dynamicRows = map[int]map[int]bool{}
 				w.rowPulledAt = map[int]map[int]int{}
@@ -150,10 +174,11 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 		if len(batches) > 0 {
 			total /= float64(len(batches))
 		}
-		rec.AfterPass(d, total)
+		stepSpan.EndWith(trace.A("loss", total))
+		rec.AfterPassTC(d, total, stepSpan.Context())
 	}
 	if w.CacheEnabled {
-		w.pushDelta()
+		w.pushDelta(ctx)
 	}
 	rec.Finish(-1)
 	// Clear caches for the next epoch (paper: "we clear both the
@@ -166,8 +191,8 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 
 // pullDense refreshes dense tensors from the PS into both the model and
 // the static cache.
-func (w *Worker) pullDense() {
-	w.staticDense = w.Store.PullDense()
+func (w *Worker) pullDense(ctx context.Context) {
+	w.staticDense = w.Store.PullDense(ctx)
 	for t, vals := range w.staticDense {
 		copy(w.params[t].Data, vals)
 	}
@@ -176,7 +201,7 @@ func (w *Worker) pullDense() {
 // resolveEmbeddingRows ensures every embedding row the batch touches is
 // present in the dynamic cache, querying the latest values from the PS
 // on miss.
-func (w *Worker) resolveEmbeddingRows(b *data.Batch) {
+func (w *Worker) resolveEmbeddingRows(ctx context.Context, b *data.Batch) {
 	layout := w.Store.Layout()
 	for t, p := range w.params {
 		if !layout.Embedding[t] {
@@ -200,7 +225,7 @@ func (w *Worker) resolveEmbeddingRows(b *data.Batch) {
 		if len(missing) == 0 {
 			continue
 		}
-		vals := w.Store.PullRows(t, missing)
+		vals := w.Store.PullRows(ctx, t, missing)
 		cols := p.Cols
 		for i, r := range missing {
 			copy(p.Data[r*cols:(r+1)*cols], vals[i])
@@ -238,7 +263,7 @@ func (w *Worker) rowsTouchedBy(b *data.Batch, t, field int) []int {
 
 // pushDelta sends Θ̃−Θ to the PS: full deltas for dense tensors, touched
 // rows only for embeddings.
-func (w *Worker) pushDelta() {
+func (w *Worker) pushDelta(ctx context.Context) {
 	layout := w.Store.Layout()
 	d := Delta{Dense: map[int][]float64{}, Rows: map[int][]int{}, RowDeltas: map[int][][]float64{}}
 	for t, p := range w.params {
@@ -277,5 +302,5 @@ func (w *Worker) pushDelta() {
 		}
 		d.Dense[t] = delta
 	}
-	w.Store.PushDelta(d)
+	w.Store.PushDelta(ctx, d)
 }

@@ -34,6 +34,7 @@ import (
 	"mamdr/internal/models"
 	"mamdr/internal/paramvec"
 	"mamdr/internal/telemetry"
+	"mamdr/internal/trace"
 )
 
 // Options configures the serving path.
@@ -60,6 +61,13 @@ type Options struct {
 	// request, carrying a request ID that is also returned in the
 	// X-Request-ID response header.
 	AccessLog *slog.Logger
+	// Tracer, when non-nil, opens one trace per request — a
+	// serve.request root span keyed to the X-Request-ID with pool-wait
+	// and predict child spans — exposes GET /debug/trace?sec=N
+	// capture-on-demand, and raises a pool_saturation anomaly into the
+	// tracer's flight recorder when a prediction times out waiting for
+	// a replica.
+	Tracer *trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -253,6 +261,9 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.Metrics != nil {
 		mux.Handle("/metrics", s.opts.Metrics.Handler())
 	}
+	if s.opts.Tracer != nil {
+		mux.Handle("/debug/trace", trace.CaptureHandler(s.opts.Tracer))
+	}
 	return s.instrument(mux)
 }
 
@@ -304,20 +315,38 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
 	waitStart := time.Now()
+	// Both spans parent to the serve.request root: pool_wait has ended
+	// by the time predict starts, so nesting predict under it would
+	// place a child outside its parent's time bounds.
+	_, waitSpan := trace.Start(ctx, "serve.pool_wait")
 	select {
 	case rep := <-s.pool:
+		waitSpan.End()
 		s.metrics.acquire(time.Since(waitStart))
+		_, predictSpan := trace.Start(ctx, "serve.predict",
+			trace.A("domain", snap.names[req.Domain]), trace.A("pairs", len(req.Users)))
 		probs := s.predictOn(rep, snap, req.Domain, batch)
+		predictSpan.End()
 		s.pool <- rep
 		s.metrics.release()
 		writeJSON(w, PredictResponse{Probabilities: probs})
 		s.metrics.latencyFor(snap.names[req.Domain]).Observe(time.Since(start).Seconds())
 	case <-ctx.Done():
+		waitSpan.EndWith(trace.A("timeout", true))
 		// Tell well-behaved clients when to come back: the pool is
 		// saturated now, so a retry sooner than a second will likely
 		// block again.
 		w.Header().Set("Retry-After", "1")
-		s.metrics.poolTimeouts.Inc()
+		s.metrics.timeout()
+		fields := map[string]any{
+			"domain":     snap.names[req.Domain],
+			"replicas":   s.opts.Replicas,
+			"timeout_ms": s.opts.RequestTimeout.Milliseconds(),
+		}
+		if tc := trace.ContextOf(ctx); tc.Valid() {
+			fields["trace_id"], fields["span_id"] = tc.TraceID, tc.SpanID
+		}
+		s.opts.Tracer.Flight().Trigger("pool_saturation", fields)
 		http.Error(w, "no model replica available", http.StatusServiceUnavailable)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mamdr/internal/telemetry"
+	"mamdr/internal/trace"
 )
 
 // serveMetrics are the request-path instruments. All fields are safe
@@ -97,6 +98,15 @@ func (m *serveMetrics) acquire(waited time.Duration) {
 	m.saturation.Set(float64(n) / float64(m.replicas))
 }
 
+// timeout counts one pool-acquisition timeout. Nil-safe: the timeout
+// path must work on metrics-less servers too.
+func (m *serveMetrics) timeout() {
+	if m == nil {
+		return
+	}
+	m.poolTimeouts.Inc()
+}
+
 func (m *serveMetrics) release() {
 	if m == nil {
 		return
@@ -142,11 +152,12 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrument wraps the route mux with the observability chain: a
-// request ID on every response, per-status-code counters, and one
-// structured access-log line per request.
+// request ID on every response, per-status-code counters, a
+// serve.request root span keyed to that ID, and one structured
+// access-log line per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
-	metrics, logger := s.metrics, s.opts.AccessLog
-	if metrics == nil && logger == nil {
+	metrics, logger, tracer := s.metrics, s.opts.AccessLog, s.opts.Tracer
+	if metrics == nil && logger == nil && tracer == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -154,7 +165,10 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		rid := requestID(r)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		sw.Header().Set("X-Request-ID", rid)
-		next.ServeHTTP(sw, r)
+		ctx, span := trace.Start(tracer.Context(r.Context()), "serve.request",
+			trace.A("rid", rid), trace.A("method", r.Method), trace.A("path", r.URL.Path))
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.EndWith(trace.A("status", sw.code))
 		metrics.requestCounter(sw.code).Inc()
 		if logger != nil {
 			logger.LogAttrs(r.Context(), slog.LevelInfo, "request",

@@ -9,6 +9,8 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
+	"time"
 )
 
 // ContentType is the Prometheus text exposition content type served by
@@ -105,8 +107,11 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// RegisterGoRuntime adds scrape-time gauges for the Go runtime:
-// goroutine count, heap allocation, and completed GC cycles.
+// RegisterGoRuntime adds scrape-time gauges for the Go runtime —
+// goroutine count, heap allocated/reserved bytes, GC cycle count and
+// cumulative pause time — so /metrics covers process health, not just
+// application series. One ReadMemStats snapshot is shared by all the
+// memstats-backed gauges per scrape.
 func RegisterGoRuntime(r *Registry) {
 	if r == nil {
 		return
@@ -114,14 +119,36 @@ func RegisterGoRuntime(r *Registry) {
 	r.GaugeFunc("go_goroutines", "Number of goroutines.", func() float64 {
 		return float64(runtime.NumGoroutine())
 	})
-	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
-		var m runtime.MemStats
-		runtime.ReadMemStats(&m)
-		return float64(m.HeapAlloc)
-	})
-	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.", func() float64 {
-		var m runtime.MemStats
-		runtime.ReadMemStats(&m)
-		return float64(m.NumGC)
-	})
+	// memStat adapts one MemStats field; the snapshot is re-read at
+	// most once per scrape interval (readMemStats caches briefly) so
+	// four gauges do not mean four stop-the-world reads per scrape.
+	memStat := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 { return pick(readMemStats()) }
+	}
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.",
+		memStat(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
 }
+
+// readMemStats returns a MemStats snapshot at most ~200ms stale, so a
+// scrape rendering several memstats gauges pays for one read.
+func readMemStats() *runtime.MemStats {
+	memMu.Lock()
+	defer memMu.Unlock()
+	if now := time.Now(); now.Sub(memAt) > 200*time.Millisecond {
+		runtime.ReadMemStats(&memSnap)
+		memAt = now
+	}
+	return &memSnap
+}
+
+var (
+	memMu   sync.Mutex
+	memSnap runtime.MemStats
+	memAt   time.Time
+)

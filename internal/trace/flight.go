@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// FlightRecorder continuously retains the last N completed spans in a
+// ring buffer and dumps them — as a Chrome trace-event JSON file with
+// the triggering span marked — when an anomaly fires. It is the
+// "what happened in the seconds before the loss went NaN" answer that
+// aggregate metrics cannot give.
+//
+// Each anomaly kind dumps at most once per recorder lifetime (a NaN
+// loss repeats every subsequent step; one dump of the run-up is the
+// signal, a thousand identical dumps are noise). Rearm re-enables a
+// kind after the dump has been collected.
+//
+// Trigger's signature matches telemetry's AnomalySink interface, so a
+// recorder can be handed directly to telemetry.NewLossWatch without
+// either package importing the other.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []*Span
+	next  int
+	full  bool
+	path  string
+	pid   int
+	fired map[string]bool
+	dumps []Dump
+}
+
+// Dump describes one completed anomaly dump.
+type Dump struct {
+	Kind string
+	// Path is the written file ("" when the recorder has no dump
+	// path; the spans are still retained in Spans).
+	Path  string
+	Spans []*Span
+	// Fields are the anomaly details supplied by the trigger.
+	Fields map[string]any
+}
+
+// NewFlightRecorder retains the last capacity completed spans and
+// dumps anomalies to <pathPrefix>-<kind>.trace.json (memory-only when
+// pathPrefix is empty).
+func NewFlightRecorder(capacity int, pathPrefix string) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 256
+	}
+	return &FlightRecorder{
+		buf:   make([]*Span, capacity),
+		path:  pathPrefix,
+		pid:   os.Getpid(),
+		fired: map[string]bool{},
+	}
+}
+
+// Record implements Sink.
+func (f *FlightRecorder) Record(s *Span) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.buf[f.next] = s
+	f.next++
+	if f.next == len(f.buf) {
+		f.next = 0
+		f.full = true
+	}
+	f.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (f *FlightRecorder) Snapshot() []*Span {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snapshotLocked()
+}
+
+func (f *FlightRecorder) snapshotLocked() []*Span {
+	if !f.full {
+		return append([]*Span(nil), f.buf[:f.next]...)
+	}
+	out := make([]*Span, 0, len(f.buf))
+	out = append(out, f.buf[f.next:]...)
+	out = append(out, f.buf[:f.next]...)
+	return out
+}
+
+// Trigger fires an anomaly of the given kind: the ring buffer is
+// dumped exactly once per kind (later triggers of the same kind are
+// dropped until Rearm). fields annotate the dump's anomaly marker;
+// the keys "trace_id" and "span_id" (uint64), when present, identify
+// the span that tripped the detector so the dump marks it.
+//
+// Trigger satisfies telemetry.AnomalySink. A nil recorder ignores
+// triggers, so tracer.Flight().Trigger(...) is safe unconditionally.
+func (f *FlightRecorder) Trigger(kind string, fields map[string]any) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.fired[kind] {
+		f.mu.Unlock()
+		return
+	}
+	f.fired[kind] = true
+	spans := f.snapshotLocked()
+	f.mu.Unlock()
+
+	var trigger uint64
+	if v, ok := fields["span_id"].(uint64); ok {
+		trigger = v
+	}
+	d := Dump{Kind: kind, Spans: spans, Fields: fields}
+	if f.path != "" {
+		d.Path = fmt.Sprintf("%s-%s.trace.json", f.path, kind)
+		f.writeDump(d, trigger)
+	}
+	f.mu.Lock()
+	f.dumps = append(f.dumps, d)
+	f.mu.Unlock()
+}
+
+// writeDump renders the dump file; failures are swallowed (the
+// recorder must never take down the run it is observing).
+func (f *FlightRecorder) writeDump(d Dump, trigger uint64) {
+	w, err := os.Create(d.Path)
+	if err != nil {
+		return
+	}
+	defer w.Close()
+	args := map[string]any{"kind": d.Kind}
+	for k, v := range d.Fields {
+		args[k] = v
+	}
+	marker := chromeEvent{
+		Name: "ANOMALY: " + d.Kind, Cat: "anomaly", Phase: "i",
+		TS: time.Now().UnixMicro(), PID: f.pid, Scope: "g", Args: args,
+	}
+	WriteChrome(w, d.Spans, f.pid, trigger, marker)
+}
+
+// Dumps returns the anomaly dumps fired so far.
+func (f *FlightRecorder) Dumps() []Dump {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Dump(nil), f.dumps...)
+}
+
+// Rearm re-enables dumping for an anomaly kind after its dump has
+// been collected.
+func (f *FlightRecorder) Rearm(kind string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	delete(f.fired, kind)
+	f.mu.Unlock()
+}

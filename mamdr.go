@@ -30,6 +30,7 @@ import (
 	"mamdr/internal/models"
 	"mamdr/internal/synth"
 	"mamdr/internal/telemetry"
+	"mamdr/internal/trace"
 )
 
 // Dataset is a multi-domain recommendation dataset.
@@ -127,6 +128,12 @@ type TrainSpec struct {
 	// Events, when non-nil, receives one JSONL event per epoch so runs
 	// are replayable and plottable.
 	Events *telemetry.EventLog
+	// Tracer, when non-nil, emits structured spans for the training run
+	// (epochs, per-domain inner steps, forward/backward/optimizer
+	// phases, DR lookaheads) and arms its flight recorder: a NaN/Inf
+	// loss or a per-domain loss z-score spike dumps the most recent
+	// spans to a Chrome trace-event JSON file.
+	Tracer *trace.Tracer
 }
 
 // Result reports a finished training run.
@@ -179,8 +186,14 @@ func Train(spec TrainSpec) (*Result, error) {
 		DRLR:      spec.DRLR,
 		SampleK:   spec.SampleK,
 	}
-	if spec.Metrics != nil || spec.Events != nil {
+	if spec.Metrics != nil || spec.Events != nil || spec.Tracer != nil {
 		cfg.Telemetry = framework.NewTrainMetrics(spec.Metrics, spec.Dataset, spec.Events)
+	}
+	if spec.Tracer != nil {
+		cfg.Tracer = spec.Tracer
+		if f := spec.Tracer.Flight(); f != nil {
+			cfg.Telemetry.Anomalies = telemetry.NewLossWatch(f, 0, 0)
+		}
 	}
 	pred := fw.Fit(m, spec.Dataset, cfg)
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-serve bench-telemetry smoke-trace ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry smoke-trace smoke-chaos ci check
 
 all: check
 
@@ -25,6 +25,24 @@ smoke-trace:
 		-ps-workers 2 -trace /tmp/smoke.trace.json
 	python3 -c "import json; e=json.load(open('/tmp/smoke.trace.json')); assert e, 'empty'; print('ok:', len(e), 'events')"
 
+# The CI chaos-smoke job locally: a 2-worker run over a loopback RPC
+# parameter server with injected errors, delays, and connection drops
+# must print exactly the same per-domain AUC table as a clean run (the
+# retries are idempotent and SyncPush fixes the delta-apply order), and
+# the bit-exact version of the same property is asserted by the chaos
+# determinism tests.
+smoke-chaos:
+	$(GO) run ./cmd/mamdr-train -preset taobao-10 -samples 2000 -epochs 3 \
+		-ps-workers 2 -ps-sync-push -seed 7 \
+		| grep -v '^trained in' > /tmp/chaos-clean.txt
+	$(GO) run ./cmd/mamdr-train -preset taobao-10 -samples 2000 -epochs 3 \
+		-ps-workers 2 -ps-sync-push -seed 7 \
+		-ps-faults "PushDelta:err@1,3; PullDense:err@2; PullDense:delay=10ms@*; conn:drop@3,7" \
+		2>/tmp/chaos-faulty.log | grep -v '^trained in' > /tmp/chaos-faulty.txt
+	diff /tmp/chaos-clean.txt /tmp/chaos-faulty.txt
+	grep -E '[1-9][0-9]* faults injected' /tmp/chaos-faulty.log
+	$(GO) test -count=1 -run 'TestChaosDeterminismOverRPC|TestResumeMatchesUninterrupted' ./internal/ps/
+
 # The PS and serving paths are the concurrent hot spots; keep them
 # race-clean.
 race:
@@ -44,5 +62,6 @@ ci:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) smoke-chaos
 
 check: vet build test race

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,6 +18,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mamdr"
@@ -39,8 +42,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		addr       = flag.String("addr", ":8080", "listen address")
 		replicas   = flag.Int("replicas", 0, "model-replica pool size (0 = GOMAXPROCS)")
-		timeout    = flag.Duration("timeout", 5*time.Second, "per-request replica-acquisition timeout")
-		checkpoint = flag.String("checkpoint", "", "load a state saved with core.State.Save instead of training")
+		timeout      = flag.Duration("timeout", 5*time.Second, "per-request replica-acquisition timeout")
+		checkpoint   = flag.String("checkpoint", "", "load a state saved with core.State.Save instead of training")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus /metrics and instrument the request path")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -143,7 +147,35 @@ func main() {
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+
+	// Graceful drain: on SIGTERM/SIGINT, fail /readyz first (load
+	// balancers stop sending traffic), then let in-flight requests
+	// finish before exiting; a second signal or the drain timeout kills
+	// the process regardless.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // restore default handling: a second signal kills immediately
+		log.Printf("signal received; draining (readyz now 503, up to %s for in-flight requests)", *drainTimeout)
+		srv.SetDraining(true)
+		// Keep the listener open briefly so readiness probes on new
+		// connections observe the 503 and stop routing; Shutdown would
+		// otherwise close it before any balancer re-polls.
+		if grace := time.Second; *drainTimeout > 2*grace {
+			time.Sleep(grace)
+		}
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		log.Printf("drained cleanly")
+	}
 }
 
 // openAccessLog resolves the -access-log destination to a JSON slog

@@ -13,14 +13,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 	"time"
 
 	"mamdr"
 	"mamdr/internal/data"
+	"mamdr/internal/faultinject"
 	"mamdr/internal/framework"
 	"mamdr/internal/metrics"
 	"mamdr/internal/models"
@@ -59,6 +62,12 @@ func main() {
 		psWorkers = flag.Int("ps-workers", 0, "run distributed PS-Worker training with this many workers (0 = single process; mamdr framework only)")
 		psShards  = flag.Int("ps-shards", 4, "parameter-server shard count for -ps-workers")
 		psCache   = flag.Bool("ps-cache", true, "enable the PS-Worker embedding cache (§IV-E) for -ps-workers")
+		psFaults  = flag.String("ps-faults", "", `fault-injection schedule for -ps-workers chaos runs, e.g. "PushDelta:err@p0.05; PullRows:delay=10ms@*" (seeded by -seed + worker id)`)
+		psSync    = flag.Bool("ps-sync-push", false, "apply worker deltas serially per epoch for bit-reproducible distributed runs")
+
+		checkpointDir   = flag.String("checkpoint-dir", "", "write crash-safe epoch-boundary checkpoints into this directory")
+		checkpointEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in epochs (with -checkpoint-dir)")
+		resume          = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run under the same seed)")
 	)
 	flag.Parse()
 
@@ -136,6 +145,8 @@ func main() {
 			workers: *psWorkers, shards: *psShards, cache: *psCache,
 			epochs: *epochs, batch: *batch, innerLR: *innerLR, outerLR: *outerLR,
 			drLR: *drLR, sampleK: *sampleK, embDim: *embDim, seed: *seed,
+			faults: *psFaults, syncPush: *psSync,
+			checkpointDir: *checkpointDir, checkpointEvery: *checkpointEvery, resume: *resume,
 		}, reg, events, tracer)
 	} else {
 		fmt.Printf("training %s with %s for %d epochs...\n", *model, *fw, *epochs)
@@ -154,6 +165,10 @@ func main() {
 			Metrics:   reg,
 			Events:    events,
 			Tracer:    tracer,
+
+			CheckpointDir:   *checkpointDir,
+			CheckpointEvery: *checkpointEvery,
+			Resume:          *resume,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -196,6 +211,12 @@ type trainOpts struct {
 	innerLR, outerLR, drLR float64
 	sampleK, embDim        int
 	seed                   int64
+
+	faults          string // faultinject schedule applied to every worker's store
+	syncPush        bool
+	checkpointDir   string
+	checkpointEvery int
+	resume          bool
 }
 
 // trainDistributed runs the PS-Worker trainer (the paper's industrial
@@ -221,15 +242,92 @@ func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemet
 			tm.Anomalies = telemetry.NewLossWatch(f, 0, 0)
 		}
 	}
-	res := ps.Train(replica, ds, ps.Options{
+	opts := ps.Options{
 		Workers: o.workers, Shards: o.shards, CacheEnabled: o.cache,
 		Epochs: o.epochs, BatchSize: o.batch,
 		InnerLR: o.innerLR, OuterLR: o.outerLR,
 		UseDR: true, SampleK: o.sampleK, DRLR: o.drLR,
 		Seed: o.seed, Metrics: psm, Telemetry: tm, Tracer: tracer,
-	})
+		SyncPush:         o.syncPush,
+		HeartbeatTimeout: 30 * time.Second,
+	}
+	if o.checkpointDir != "" {
+		if err := os.MkdirAll(o.checkpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		opts.CheckpointPath = filepath.Join(o.checkpointDir, "ps.ckpt")
+		opts.CheckpointEvery = o.checkpointEvery
+		opts.Resume = o.resume
+	}
+	var res *ps.Result
+	if o.faults == "" {
+		res = ps.Train(replica, ds, opts)
+	} else {
+		// Chaos mode: the PS serves over a real loopback RPC socket and
+		// every worker talks through its own client armed with a seeded
+		// fault injector, so the injected errors, delays, and connection
+		// drops hit the retry/idempotency machinery exactly like network
+		// faults would. Deterministic under a fixed -seed.
+		res = trainChaos(ds, replica, o, opts, reg)
+	}
 	c := res.Counters
 	log.Printf("PS traffic: %d dense pulls, %d dense pushes, %d row pulls, %d row pushes, %d floats moved",
 		c.DensePulls, c.DensePushes, c.RowPulls, c.RowPushes, c.FloatsMoved)
+	if res.ResumedFrom > 0 {
+		log.Printf("resumed from checkpoint at epoch %d", res.ResumedFrom)
+	}
+	if res.WorkerDeaths > 0 {
+		log.Printf("supervision: %d worker death(s); domains redistributed to survivors", res.WorkerDeaths)
+	}
 	return framework.EvaluateAUC(res.State, ds, data.Val), framework.EvaluateAUC(res.State, ds, data.Test)
+}
+
+// trainChaos runs the distributed trainer against a loopback RPC
+// parameter server with per-worker fault injection — the CI chaos smoke
+// and local failure-drill entry point.
+func trainChaos(ds *mamdr.Dataset, replica func() models.Model, o trainOpts, opts ps.Options, reg *telemetry.Registry) *ps.Result {
+	filled := opts.WithDefaults()
+	serving := replica()
+	server := ps.NewServer(serving.Parameters(), models.EmbeddingTablesOf(serving), filled.Shards, filled.OuterOpt, filled.OuterLR)
+	server.SetMetrics(opts.Metrics)
+	server.SetTracer(opts.Tracer)
+	if opts.CheckpointPath != "" {
+		server.SetCheckpointPath(opts.CheckpointPath)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lis.Close()
+	go ps.Serve(server, lis)
+
+	base, err := ps.Dial(lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer base.Close()
+
+	var injectors []*faultinject.Injector
+	opts.WrapStore = func(workerID int, _ ps.Store) ps.Store {
+		cl, err := ps.Dial(lis.Addr().String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl.SetBackoff(ps.Backoff{Seed: o.seed + int64(workerID)})
+		inj := faultinject.MustParse(o.faults, o.seed+int64(workerID))
+		inj.BindMetrics(reg)
+		cl.SetInjector(inj)
+		injectors = append(injectors, inj)
+		return cl
+	}
+	log.Printf("chaos: PS on %s, fault schedule %q", lis.Addr(), o.faults)
+	res := ps.TrainWithStore(replica, serving, base, base, ds, opts)
+	var injected int64
+	for _, inj := range injectors {
+		for _, n := range inj.Counts() {
+			injected += n
+		}
+	}
+	log.Printf("chaos: %d faults injected", injected)
+	return res
 }

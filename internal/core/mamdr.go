@@ -17,7 +17,10 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"mamdr/internal/data"
@@ -107,9 +110,13 @@ func (s *State) AddDomain() int {
 // Fit implements framework.Framework (Algorithm 3): every epoch first
 // updates θ_S with DN (Algorithm 1), then updates every θ_i with DR
 // (Algorithm 2).
+//
+// Each epoch's randomness is derived from (Seed, epoch) rather than one
+// RNG streamed across epochs, so a run killed and resumed from an
+// epoch-boundary checkpoint (Config.CheckpointDir/Resume) replays the
+// remaining epochs bit-identically to an uninterrupted run.
 func (t *MAMDR) Fit(m models.Model, ds *data.Dataset, cfg framework.Config) framework.Predictor {
 	cfg = cfg.WithDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	params := m.Parameters()
 
 	st := &State{
@@ -121,7 +128,29 @@ func (t *MAMDR) Fit(m models.Model, ds *data.Dataset, cfg framework.Config) fram
 	}
 
 	outer := optim.New(cfg.OuterOpt, cfg.OuterLR)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+
+	ckpt := ""
+	startEpoch := 0
+	if cfg.CheckpointDir != "" {
+		ckpt = filepath.Join(cfg.CheckpointDir, "mamdr.ckpt")
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = 1
+		}
+		if cfg.Resume {
+			if _, err := os.Stat(ckpt); err == nil {
+				epoch, err := st.LoadTraining(ckpt, outer)
+				if err != nil {
+					panic(fmt.Sprintf("core: resume from %s: %v", ckpt, err))
+				}
+				if epoch > 0 {
+					startEpoch = epoch
+				}
+			}
+		}
+	}
+
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+		rng := EpochRNG(cfg.Seed, epoch)
 		if t.UseDN {
 			DomainNegotiationEpoch(st, ds, cfg, outer, rng)
 		} else {
@@ -132,9 +161,22 @@ func (t *MAMDR) Fit(m models.Model, ds *data.Dataset, cfg framework.Config) fram
 				DomainRegularization(st, ds, i, cfg, rng)
 			}
 		}
+		if ckpt != "" && (epoch+1)%cfg.CheckpointEvery == 0 {
+			if err := st.SaveTraining(ckpt, epoch+1, outer); err != nil {
+				panic(fmt.Sprintf("core: checkpoint after epoch %d: %v", epoch, err))
+			}
+		}
 	}
 	paramvec.Restore(params, st.Shared)
 	return st
+}
+
+// EpochRNG derives the RNG for one training epoch from the run seed.
+// Deriving per epoch (instead of streaming one RNG across epochs) is
+// what lets a resumed run replay epoch k's shuffles and batch orders
+// without having consumed epochs 0..k-1 first.
+func EpochRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + 2654435761*int64(epoch)))
 }
 
 // DomainNegotiationEpoch runs one outer-loop iteration of Algorithm 1 on

@@ -1,16 +1,133 @@
 package core
 
 import (
-	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
+	"path/filepath"
 
+	"mamdr/internal/optim"
 	"mamdr/internal/paramvec"
 )
 
+// Checkpoint files are written crash-safely: the payload is gob-encoded
+// into a fixed envelope (magic, format version, payload length, CRC32)
+// and lands on disk via write-to-temp-file + fsync + atomic rename, so
+// a reader never observes a half-written checkpoint under its final
+// name, and a truncated or bit-flipped file is rejected with a clear
+// error instead of decoding into garbage parameters.
+const (
+	// checkpointMagic opens every checkpoint file (8 bytes).
+	checkpointMagic = "MAMDRCKP"
+	// checkpointVersion is bumped on incompatible envelope/payload
+	// changes; loaders reject other versions loudly.
+	checkpointVersion uint32 = 2
+)
+
+// headerLen is magic(8) + version(4) + payload length(8) + crc32(4).
+const headerLen = 8 + 4 + 8 + 4
+
+// ErrCorruptCheckpoint wraps every integrity failure (bad magic,
+// truncation, CRC mismatch), so callers can distinguish "this file is
+// damaged" from "this checkpoint belongs to a different model".
+var ErrCorruptCheckpoint = errors.New("corrupt or truncated checkpoint")
+
+// SaveGob atomically writes v to path in the checkpoint envelope:
+// encode to memory, write magic/version/length/CRC32 + payload into
+// path.tmp, fsync, then rename over path. A crash at any point leaves
+// either the previous complete file or a stray .tmp — never a torn
+// checkpoint under the final name.
+func SaveGob(path string, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("core: encode %s: %w", path, err)
+	}
+
+	var head [headerLen]byte
+	copy(head[:8], checkpointMagic)
+	binary.LittleEndian.PutUint32(head[8:12], checkpointVersion)
+	binary.LittleEndian.PutUint64(head[12:20], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(head[20:24], crc32.ChecksumIEEE(payload.Bytes()))
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("core: create %s: %w", tmp, err)
+	}
+	_, werr := f.Write(head[:])
+	if werr == nil {
+		_, werr = f.Write(payload.Bytes())
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: write %s: %w", tmp, werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: commit %s: %w", path, err)
+	}
+	// Durability of the rename itself: fsync the directory (best
+	// effort — not all filesystems support it).
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// LoadGob reads a file written by SaveGob into v, verifying the
+// envelope before decoding: wrong magic, a truncated payload, or a
+// CRC mismatch all fail with an error wrapping ErrCorruptCheckpoint.
+func LoadGob(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	var head [headerLen]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return fmt.Errorf("core: %s: header unreadable (%v): %w", path, err, ErrCorruptCheckpoint)
+	}
+	if string(head[:8]) != checkpointMagic {
+		return fmt.Errorf("core: %s: not a MAMDR checkpoint (bad magic): %w", path, ErrCorruptCheckpoint)
+	}
+	if ver := binary.LittleEndian.Uint32(head[8:12]); ver != checkpointVersion {
+		return fmt.Errorf("core: %s: checkpoint format v%d, this build reads v%d", path, ver, checkpointVersion)
+	}
+	want := binary.LittleEndian.Uint64(head[12:20])
+	payload, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("core: read %s: %w", path, err)
+	}
+	if uint64(len(payload)) != want {
+		return fmt.Errorf("core: %s: payload is %d bytes, header promises %d (truncated write?): %w",
+			path, len(payload), want, ErrCorruptCheckpoint)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(head[20:24]) {
+		return fmt.Errorf("core: %s: CRC mismatch (corrupted on disk): %w", path, ErrCorruptCheckpoint)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("core: decode %s: %w: %v", path, ErrCorruptCheckpoint, err)
+	}
+	return nil
+}
+
 // Checkpoint is the serializable form of a trained MAMDR state: the
-// shared parameter vector and every domain's specific vector. The model
+// shared parameter vector and every domain's specific vector, plus an
+// optional resume cursor (completed-epoch count and the DN outer
+// optimizer's state) for crash-safe training restarts. The model
 // structure itself is rebuilt from configuration by the caller (the
 // vectors align with Model.Parameters() order, which is stable for a
 // given structure and dataset schema).
@@ -20,60 +137,93 @@ type Checkpoint struct {
 	ModelName string
 	Shared    paramvec.Vector
 	Specific  []paramvec.Vector
+	// Epoch is the number of fully completed training epochs when the
+	// checkpoint was taken; -1 marks a final state with no resume
+	// cursor (the State.Save format).
+	Epoch int
+	// Outer is the DN outer optimizer's accumulated state at the epoch
+	// boundary (empty when Epoch is -1 or the optimizer is stateless).
+	Outer optim.State
 }
 
-// Save writes the state's parameters to path with encoding/gob.
+// Save writes the state's parameters to path crash-safely (atomic
+// temp-file + rename, versioned and CRC-guarded envelope).
 func (s *State) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: create %s: %w", path, err)
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
+	return SaveGob(path, Checkpoint{
+		ModelName: s.Model.Name(),
+		Shared:    s.Shared,
+		Specific:  s.Specific,
+		Epoch:     -1,
+	})
+}
+
+// SaveTraining writes a resumable epoch-boundary checkpoint: parameters
+// plus the completed-epoch cursor and the outer optimizer's state, so a
+// killed run resumed from it replays the exact trajectory of an
+// uninterrupted one. Pass a nil outer for optimizer-free phases.
+func (s *State) SaveTraining(path string, epoch int, outer optim.Optimizer) error {
 	ck := Checkpoint{
 		ModelName: s.Model.Name(),
 		Shared:    s.Shared,
 		Specific:  s.Specific,
+		Epoch:     epoch,
 	}
-	if err := gob.NewEncoder(w).Encode(ck); err != nil {
-		return fmt.Errorf("core: encode %s: %w", path, err)
+	if st, ok := outer.(optim.Stateful); ok {
+		ck.Outer = st.CaptureState(s.Model.Parameters())
 	}
-	return w.Flush()
+	return SaveGob(path, ck)
 }
 
-// Load reads a checkpoint saved by Save into the state, validating that
-// the vectors align with the state's model parameters. The state's
-// Model must already be constructed with the same structure and dataset
-// schema as at save time.
+// Load reads a checkpoint saved by Save (or SaveTraining) into the
+// state, validating that the vectors align with the state's model
+// parameters. The state's Model must already be constructed with the
+// same structure and dataset schema as at save time.
 func (s *State) Load(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("core: open %s: %w", path, err)
-	}
-	defer f.Close()
+	_, err := s.load(path, nil)
+	return err
+}
+
+// LoadTraining is Load plus resume-cursor recovery: it restores the
+// parameters, rebinds the outer optimizer's saved state, and returns
+// the completed-epoch count the run should continue from. Loading a
+// final checkpoint (Save) yields epoch -1.
+func (s *State) LoadTraining(path string, outer optim.Optimizer) (epoch int, err error) {
+	return s.load(path, outer)
+}
+
+func (s *State) load(path string, outer optim.Optimizer) (int, error) {
 	var ck Checkpoint
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&ck); err != nil {
-		return fmt.Errorf("core: decode %s: %w", path, err)
+	if err := LoadGob(path, &ck); err != nil {
+		return 0, err
 	}
 	if ck.ModelName != s.Model.Name() {
-		return fmt.Errorf("core: checkpoint is for model %q, state has %q", ck.ModelName, s.Model.Name())
+		return 0, fmt.Errorf("core: checkpoint is for model %q, state has %q", ck.ModelName, s.Model.Name())
 	}
 	params := s.Model.Parameters()
 	if len(ck.Shared) != len(params) {
-		return fmt.Errorf("core: checkpoint has %d shared segments, model has %d tensors", len(ck.Shared), len(params))
+		return 0, fmt.Errorf("core: checkpoint has %d shared segments, model has %d tensors", len(ck.Shared), len(params))
 	}
 	for i, p := range params {
 		if len(ck.Shared[i]) != len(p.Data) {
-			return fmt.Errorf("core: shared segment %d has %d values, tensor has %d", i, len(ck.Shared[i]), len(p.Data))
+			return 0, fmt.Errorf("core: shared segment %d has %d values, tensor has %d", i, len(ck.Shared[i]), len(p.Data))
 		}
 	}
 	for d, v := range ck.Specific {
 		if len(v) != len(params) {
-			return fmt.Errorf("core: specific vector %d misaligned", d)
+			return 0, fmt.Errorf("core: specific vector %d misaligned", d)
 		}
 	}
 	s.Shared = ck.Shared
 	s.Specific = ck.Specific
 	paramvec.Restore(params, s.Shared)
-	return nil
+	if outer != nil && !ck.Outer.Empty() {
+		st, ok := outer.(optim.Stateful)
+		if !ok {
+			return 0, fmt.Errorf("core: checkpoint carries %q optimizer state but the outer optimizer cannot restore state", ck.Outer.Name)
+		}
+		if err := st.RestoreState(params, ck.Outer); err != nil {
+			return 0, fmt.Errorf("core: restore outer optimizer: %w", err)
+		}
+	}
+	return ck.Epoch, nil
 }

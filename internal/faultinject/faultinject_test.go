@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"mamdr/internal/telemetry"
+)
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"PushDelta",               // no fault
+		"PushDelta:err",           // no occurrences
+		":err@1",                  // no op
+		"PushDelta:explode@1",     // unknown kind
+		"PushDelta:err@0",         // indices are 1-based
+		"PushDelta:err@p1.5",      // probability out of range
+		"PushDelta:delay=xx@1",    // bad duration
+		"conn:partition=0@1",      // partition length must be >= 1
+		"PushDelta:partition=3@1", // partitions are conn-only
+	}
+	for _, s := range bad {
+		if _, err := Parse(s, 1); err == nil {
+			t.Errorf("Parse(%q) accepted a bad schedule", s)
+		}
+	}
+	if _, err := Parse("", 1); err != nil {
+		t.Fatalf("empty schedule rejected: %v", err)
+	}
+}
+
+func TestIndexedOccurrences(t *testing.T) {
+	in := MustParse("PushDelta:err@2,4", 1)
+	var failed []int
+	for call := 1; call <= 5; call++ {
+		if f := in.Eval("PushDelta"); f.Err != nil {
+			failed = append(failed, call)
+			var ie *InjectedError
+			if !errors.As(f.Err, &ie) || ie.Op != "PushDelta" || ie.Kind != KindErr {
+				t.Fatalf("unexpected error shape: %v", f.Err)
+			}
+		}
+	}
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 4 {
+		t.Fatalf("faults fired on calls %v, want [2 4]", failed)
+	}
+	if got := in.Counts()["PushDelta:err"]; got != 2 {
+		t.Fatalf("counts = %d, want 2", got)
+	}
+}
+
+func TestEveryAndDelay(t *testing.T) {
+	in := MustParse("PullRows:delay=20ms@*", 1)
+	for call := 0; call < 3; call++ {
+		if f := in.Eval("PullRows"); f.Delay != 20*time.Millisecond || f.Err != nil {
+			t.Fatalf("call %d: fault = %+v", call, f)
+		}
+	}
+	// Other ops are untouched.
+	if f := in.Eval("PullDense"); f.Delay != 0 || f.Err != nil {
+		t.Fatalf("PullDense got fault %+v", f)
+	}
+}
+
+func TestProbabilisticRulesAreSeedDeterministic(t *testing.T) {
+	decide := func(seed int64) []bool {
+		in := MustParse("PullDense:err@p0.3", seed)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Eval("PullDense").Err != nil
+		}
+		return out
+	}
+	a, b := decide(7), decide(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := decide(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decisions (suspicious)")
+	}
+	var fired int
+	for _, v := range a {
+		if v {
+			fired++
+		}
+	}
+	if fired < 30 || fired > 90 {
+		t.Fatalf("p=0.3 over 200 calls fired %d times", fired)
+	}
+}
+
+func TestConnDropAndPartition(t *testing.T) {
+	// The conn clock ticks once per Eval, whatever the method.
+	in := MustParse("conn:drop@2; conn:partition=3@5", 1)
+	type verdict struct {
+		drop bool
+		err  bool
+	}
+	var got []verdict
+	methods := []string{"PullDense", "PushDelta", "PullRows", "PullDense", "PushDelta", "PullRows", "PullDense", "PushDelta"}
+	for _, m := range methods {
+		f := in.Eval(m)
+		got = append(got, verdict{f.DropConn, f.Err != nil})
+	}
+	want := []verdict{
+		{false, false},
+		{true, false},  // drop@2
+		{false, false},
+		{false, false},
+		{true, true}, // partition starts at conn call 5
+		{true, true},
+		{true, true}, // ...and covers 3 calls
+		{false, false},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("call %d: got %+v, want %+v (all: %+v)", i+1, got[i], want[i], got)
+		}
+	}
+	if in.Counts()["conn:partition"] != 3 || in.Counts()["conn:drop"] != 1 {
+		t.Fatalf("counts = %v", in.Counts())
+	}
+}
+
+func TestNilInjectorNeverInjects(t *testing.T) {
+	var in *Injector
+	if f := in.Eval("PushDelta"); f.Err != nil || f.Delay != 0 || f.DropConn {
+		t.Fatalf("nil injector injected %+v", f)
+	}
+	if in.Counts() != nil || in.Schedule() != "" {
+		t.Fatal("nil injector leaked state")
+	}
+	_ = in.String()
+}
+
+func TestTelemetryBinding(t *testing.T) {
+	reg := telemetry.New()
+	in := MustParse("PushDelta:err@1,2", 3)
+	in.BindMetrics(reg)
+	in.Eval("PushDelta")
+	in.Eval("PushDelta")
+	in.Eval("PushDelta")
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "mamdr_fault_injected_total") || !strings.Contains(text, `op="PushDelta"`) {
+		t.Fatalf("exposition missing injected counter:\n%s", text)
+	}
+}

@@ -53,6 +53,17 @@ type Config struct {
 	FinetuneEpochs int
 	// Seed drives all framework-level randomness.
 	Seed int64
+	// CheckpointDir, when non-empty, enables crash-safe epoch-boundary
+	// checkpointing for frameworks that support it (MAMDR): parameters
+	// plus the outer optimizer's state land in an atomic, CRC-guarded
+	// file every CheckpointEvery epochs (default 1 when a dir is set).
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint cadence in epochs.
+	CheckpointEvery int
+	// Resume restores the last checkpoint in CheckpointDir before
+	// training and skips the epochs it already covers; a resumed run
+	// reproduces the uninterrupted run bit for bit under the same seed.
+	Resume bool
 	// Telemetry, when non-nil, receives per-domain training telemetry —
 	// loss and grad-norm gauges, DN step timings, the gradient-conflict
 	// cosine histogram — and emits JSONL epoch events. Nil (the

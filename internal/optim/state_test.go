@@ -1,0 +1,109 @@
+package optim
+
+import (
+	"testing"
+
+	"mamdr/internal/autograd"
+)
+
+func statefulParams() []*autograd.Tensor {
+	a := autograd.Param(2, 2, []float64{1, 2, 3, 4})
+	b := autograd.Param(1, 3, []float64{-1, 0, 1})
+	return []*autograd.Tensor{a, b}
+}
+
+func fillGrads(params []*autograd.Tensor, v float64) {
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] = v
+		}
+	}
+}
+
+// TestStateRoundTripContinuesIdentically: an optimizer restored from
+// captured state must continue the trajectory bit-for-bit — the property
+// the checkpoint/resume path needs for Adagrad accumulators, Adam
+// moments, and SGD momentum.
+func TestStateRoundTripContinuesIdentically(t *testing.T) {
+	builders := map[string]func() Optimizer{
+		"sgd-momentum": func() Optimizer { return NewSGDMomentum(0.1, 0.9) },
+		"adam":         func() Optimizer { return NewAdam(0.01) },
+		"adagrad":      func() Optimizer { return NewAdagrad(0.1) },
+	}
+	for name, mk := range builders {
+		t.Run(name, func(t *testing.T) {
+			ref := statefulParams()
+			opt := mk()
+			for step := 0; step < 3; step++ {
+				fillGrads(ref, 0.5)
+				opt.Step(ref)
+			}
+			st := opt.(Stateful).CaptureState(ref)
+			if st.Empty() {
+				t.Fatal("captured state is empty")
+			}
+
+			// A fresh optimizer over parameters at the same values,
+			// restored from the checkpointed state...
+			cont := statefulParams()
+			for i, p := range ref {
+				copy(cont[i].Data, p.Data)
+			}
+			opt2 := mk()
+			if err := opt2.(Stateful).RestoreState(cont, st); err != nil {
+				t.Fatal(err)
+			}
+
+			// ...must take exactly the steps the original takes.
+			for step := 0; step < 3; step++ {
+				fillGrads(ref, 0.25)
+				fillGrads(cont, 0.25)
+				opt.Step(ref)
+				opt2.Step(cont)
+			}
+			for i := range ref {
+				for j := range ref[i].Data {
+					if ref[i].Data[j] != cont[i].Data[j] {
+						t.Fatalf("param %d[%d] diverged after restore: %g vs %g",
+							i, j, cont[i].Data[j], ref[i].Data[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRestoreStateRejectsMismatches(t *testing.T) {
+	params := statefulParams()
+	opt := NewAdagrad(0.1)
+	fillGrads(params, 0.5)
+	opt.Step(params)
+	st := opt.CaptureState(params)
+
+	// Wrong optimizer kind.
+	if err := NewAdam(0.1).RestoreState(params, st); err == nil {
+		t.Fatal("adam restored adagrad state")
+	}
+	// Wrong tensor count.
+	if err := NewAdagrad(0.1).RestoreState(params[:1], st); err == nil {
+		t.Fatal("restore accepted a mismatched parameter list")
+	}
+	// Wrong tensor size.
+	resized := []*autograd.Tensor{autograd.ParamZeros(5, 5), autograd.ParamZeros(1, 3)}
+	if err := NewAdagrad(0.1).RestoreState(resized, st); err == nil {
+		t.Fatal("restore accepted mismatched tensor sizes")
+	}
+}
+
+func TestCaptureStatePreservesUntouchedSlots(t *testing.T) {
+	// An optimizer that has never stepped captures an empty-but-typed
+	// state; restoring it must be a no-op, not an error.
+	params := statefulParams()
+	st := NewAdagrad(0.1).CaptureState(params)
+	if st.Name != "adagrad" {
+		t.Fatalf("state name = %q", st.Name)
+	}
+	if err := NewAdagrad(0.1).RestoreState(params, st); err != nil {
+		t.Fatalf("restoring a pre-step state: %v", err)
+	}
+}

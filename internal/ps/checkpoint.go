@@ -1,0 +1,136 @@
+package ps
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"mamdr/internal/autograd"
+	"mamdr/internal/core"
+	"mamdr/internal/optim"
+	"mamdr/internal/paramvec"
+)
+
+// CheckpointStore is the optional capability the trainer uses for
+// epoch-boundary checkpointing: the store persists its full state
+// (parameters, per-shard outer-optimizer state, epoch cursor) to its
+// own configured location. The in-process Server and the RPC Client
+// both implement it; over RPC the snapshot lands on the server's disk,
+// which is what survives a worker-side crash.
+type CheckpointStore interface {
+	// SaveCheckpoint persists the current state with epoch as the
+	// number of fully completed training epochs.
+	SaveCheckpoint(epoch int) error
+	// LoadCheckpoint restores the last saved state and returns its
+	// epoch cursor; (-1, nil) means no checkpoint exists yet.
+	LoadCheckpoint() (int, error)
+}
+
+var _ CheckpointStore = (*Server)(nil)
+
+// serverCheckpoint is the gob payload of a PS checkpoint: every managed
+// tensor's values plus each shard's outer-optimizer state, aligned with
+// the shard's tensors in ascending tensor-index order.
+type serverCheckpoint struct {
+	Params paramvec.Vector
+	Shards []optim.State
+	Epoch  int
+}
+
+// SetCheckpointPath configures where SaveCheckpoint/LoadCheckpoint
+// persist the server's snapshot. Set before serving traffic.
+func (s *Server) SetCheckpointPath(path string) { s.ckptPath = path }
+
+// shardParams returns shard sh's tensors in ascending tensor-index
+// order — the stable ordering optimizer state is serialized against.
+func (s *Server) shardParams(sh int) []*autograd.Tensor {
+	var idx []int
+	for t := range s.shards[sh].data {
+		idx = append(idx, t)
+	}
+	sort.Ints(idx)
+	out := make([]*autograd.Tensor, len(idx))
+	for i, t := range idx {
+		out[i] = s.shards[sh].data[t]
+	}
+	return out
+}
+
+// SaveCheckpoint implements CheckpointStore: it writes the server's
+// parameters, per-shard optimizer state, and the completed-epoch cursor
+// to the configured path crash-safely (temp file + fsync + rename,
+// CRC-guarded envelope). Shards are locked one at a time, so a snapshot
+// taken at an epoch boundary — when no pushes are in flight — is
+// globally consistent.
+func (s *Server) SaveCheckpoint(epoch int) error {
+	if s.ckptPath == "" {
+		return errors.New("ps: no checkpoint path configured on the server")
+	}
+	ck := serverCheckpoint{Params: s.Snapshot(), Epoch: epoch}
+	for sh := range s.shards {
+		params := s.shardParams(sh)
+		s.shards[sh].mu.Lock()
+		if st, ok := s.shards[sh].opt.(optim.Stateful); ok {
+			ck.Shards = append(ck.Shards, st.CaptureState(params))
+		} else {
+			ck.Shards = append(ck.Shards, optim.State{})
+		}
+		s.shards[sh].mu.Unlock()
+	}
+	return core.SaveGob(s.ckptPath, ck)
+}
+
+// LoadCheckpoint implements CheckpointStore: it restores parameters and
+// optimizer state from the configured path and returns the epoch cursor
+// the run should continue from, or (-1, nil) when no checkpoint file
+// exists. Per-worker push sequences reset on load — a resumed run
+// spawns fresh workers whose sequences restart at 1.
+func (s *Server) LoadCheckpoint() (int, error) {
+	if s.ckptPath == "" {
+		return 0, errors.New("ps: no checkpoint path configured on the server")
+	}
+	if _, err := os.Stat(s.ckptPath); os.IsNotExist(err) {
+		return -1, nil
+	}
+	var ck serverCheckpoint
+	if err := core.LoadGob(s.ckptPath, &ck); err != nil {
+		return 0, err
+	}
+	if len(ck.Params) != s.layout.NumTensors() {
+		return 0, fmt.Errorf("ps: checkpoint has %d tensors, server manages %d", len(ck.Params), s.layout.NumTensors())
+	}
+	if len(ck.Shards) != len(s.shards) {
+		return 0, fmt.Errorf("ps: checkpoint has %d shards, server has %d", len(ck.Shards), len(s.shards))
+	}
+	for t, vals := range ck.Params {
+		sh := s.shards[s.shardOf[t]]
+		sh.mu.Lock()
+		if len(sh.data[t].Data) != len(vals) {
+			sh.mu.Unlock()
+			return 0, fmt.Errorf("ps: checkpoint tensor %d has %d values, server tensor has %d", t, len(vals), len(sh.data[t].Data))
+		}
+		copy(sh.data[t].Data, vals)
+		sh.mu.Unlock()
+	}
+	for sh := range s.shards {
+		if ck.Shards[sh].Empty() {
+			continue
+		}
+		st, ok := s.shards[sh].opt.(optim.Stateful)
+		if !ok {
+			return 0, fmt.Errorf("ps: checkpoint carries %q optimizer state for shard %d but the outer optimizer cannot restore state", ck.Shards[sh].Name, sh)
+		}
+		params := s.shardParams(sh)
+		s.shards[sh].mu.Lock()
+		err := st.RestoreState(params, ck.Shards[sh])
+		s.shards[sh].mu.Unlock()
+		if err != nil {
+			return 0, fmt.Errorf("ps: restore shard %d optimizer: %w", sh, err)
+		}
+	}
+	s.seqMu.Lock()
+	s.lastSeq = map[int]int64{}
+	s.seqMu.Unlock()
+	return ck.Epoch, nil
+}

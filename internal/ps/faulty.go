@@ -1,0 +1,72 @@
+package ps
+
+import (
+	"context"
+	"time"
+
+	"mamdr/internal/faultinject"
+)
+
+// FaultyStore wraps an in-process Store with a fault injector, so chaos
+// tests exercise failure paths without a network. The Store interface
+// has no error returns — in-process calls cannot fail organically — so
+// injected faults surface the way real in-process failures would:
+//
+//   - delay faults sleep before the call;
+//   - err, drop, and partition faults panic with the *InjectedError,
+//     simulating an unrecoverable worker fault (there is no connection
+//     to redial in-process) and exercising the trainer's supervision
+//     and domain-reassignment path.
+//
+// For retryable faults, inject at the RPC transport instead
+// (Client.SetInjector), where errors exist and the backoff policy
+// absorbs them.
+type FaultyStore struct {
+	Base     Store
+	Injector *faultinject.Injector
+}
+
+var _ Store = (*FaultyStore)(nil)
+
+// NewFaultyStore wraps base with the injector.
+func NewFaultyStore(base Store, in *faultinject.Injector) *FaultyStore {
+	return &FaultyStore{Base: base, Injector: in}
+}
+
+func (f *FaultyStore) apply(op string) {
+	v := f.Injector.Eval(op)
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	if v.Err != nil {
+		panic(v.Err)
+	}
+	if v.DropConn {
+		panic(&faultinject.InjectedError{Op: op, Kind: faultinject.KindDrop})
+	}
+}
+
+// Layout implements Store (never injected: layout is fetched once at
+// construction, before any schedule should fire).
+func (f *FaultyStore) Layout() Layout { return f.Base.Layout() }
+
+// PullDense implements Store.
+func (f *FaultyStore) PullDense(ctx context.Context) map[int][]float64 {
+	f.apply("PullDense")
+	return f.Base.PullDense(ctx)
+}
+
+// PullRows implements Store.
+func (f *FaultyStore) PullRows(ctx context.Context, tensor int, rows []int) [][]float64 {
+	f.apply("PullRows")
+	return f.Base.PullRows(ctx, tensor, rows)
+}
+
+// PushDelta implements Store.
+func (f *FaultyStore) PushDelta(ctx context.Context, d Delta) {
+	f.apply("PushDelta")
+	f.Base.PushDelta(ctx, d)
+}
+
+// Counters implements Store.
+func (f *FaultyStore) Counters() Counters { return f.Base.Counters() }

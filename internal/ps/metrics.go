@@ -28,9 +28,14 @@ type Metrics struct {
 	hitRatio                *telemetry.Gauge
 	staleness               *telemetry.Histogram
 
+	pushFailures    *telemetry.Counter // pushes that failed after retries
+	duplicatePushes *telemetry.Counter // retried pushes discarded by seq dedup
+	workerDeaths    *telemetry.Counter // workers the supervisor declared dead
+
 	mu          sync.Mutex
 	rowFloats   map[int]*telemetry.Counter    // per-tensor row-sync volume
 	rpcFailures map[string]*telemetry.Counter // per-method RPC failures
+	rpcRetries  map[string]*telemetry.Counter // per-method retry attempts
 }
 
 // NewMetrics registers the PS series in reg. A nil registry yields a
@@ -60,9 +65,59 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		staleness: reg.Histogram("mamdr_ps_row_staleness_batches",
 			"Local mini-batches a cached embedding row aged between its PS pull and its delta push.",
 			telemetry.ExponentialBuckets(1, 2, 9)),
+		pushFailures: reg.Counter("mamdr_ps_push_failures_total",
+			"Outer-loop delta pushes that failed after exhausting retries (each aborts its worker's epoch)."),
+		duplicatePushes: reg.Counter("mamdr_ps_duplicate_pushes_total",
+			"Retried pushes the server discarded via the (worker, seq) idempotency token."),
+		workerDeaths: reg.Counter("mamdr_ps_worker_deaths_total",
+			"Workers the trainer's supervisor declared dead (crash or missed heartbeats)."),
 		rowFloats:   map[int]*telemetry.Counter{},
 		rpcFailures: map[string]*telemetry.Counter{},
+		rpcRetries:  map[string]*telemetry.Counter{},
 	}
+}
+
+// observePushFailure counts one push that failed after exhausting its
+// retry budget (push_failures_total).
+func (m *Metrics) observePushFailure() {
+	if m == nil {
+		return
+	}
+	m.pushFailures.Inc()
+}
+
+// observeDuplicatePush counts one retried push the server discarded via
+// sequence dedup.
+func (m *Metrics) observeDuplicatePush() {
+	if m == nil {
+		return
+	}
+	m.duplicatePushes.Inc()
+}
+
+// observeWorkerDeath counts one worker the supervisor declared dead.
+func (m *Metrics) observeWorkerDeath() {
+	if m == nil {
+		return
+	}
+	m.workerDeaths.Inc()
+}
+
+// observeRPCRetry counts one retry attempt by method.
+func (m *Metrics) observeRPCRetry(method string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	c, ok := m.rpcRetries[method]
+	if !ok {
+		c = m.reg.Counter("mamdr_ps_rpc_retries_total",
+			"Worker-to-PS RPC retry attempts by method (jittered exponential backoff).",
+			telemetry.L("method", method))
+		m.rpcRetries[method] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
 }
 
 // observeRPCFailure counts one failed RPC call by method. It is on

@@ -1,0 +1,121 @@
+package ps
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff is a jittered-exponential retry policy shared by every RPC on
+// the worker-PS path. Sleeps grow Base, 2·Base, 4·Base, ... capped at
+// Max, each drawn uniformly from [d/2, d) so a fleet of workers that
+// lost the same server does not retry in lockstep. The jitter RNG is
+// seeded, so a chaos run replays the same sleep sequence under the same
+// seed.
+type Backoff struct {
+	// Attempts is the total number of tries (first call + retries).
+	// Zero or negative means DefaultAttempts.
+	Attempts int
+	// Base is the pre-jitter sleep before the first retry (doubled each
+	// further retry). Zero means DefaultBase.
+	Base time.Duration
+	// Max caps the pre-jitter sleep. Zero means DefaultMax.
+	Max time.Duration
+	// Seed drives the jitter RNG; a given (Seed, policy) pair yields a
+	// reproducible sleep sequence.
+	Seed int64
+	// Sleep overrides the sleeper in tests (nil means a real
+	// context-aware sleep). It must return ctx.Err() if the context is
+	// done before d elapses.
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	// state holds the seeded jitter stream. It is allocated lazily so
+	// the zero Backoff works; copies made after first use share the
+	// stream, which keeps Backoff itself copyable.
+	state *backoffState
+}
+
+type backoffState struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// backoffInit guards lazy allocation of the jitter stream when several
+// goroutines race on the first Delay of a shared policy.
+var backoffInit sync.Mutex
+
+func (b *Backoff) jitter() *backoffState {
+	backoffInit.Lock()
+	defer backoffInit.Unlock()
+	if b.state == nil {
+		b.state = &backoffState{rng: rand.New(rand.NewSource(b.Seed))}
+	}
+	return b.state
+}
+
+// The default policy: 5 tries over roughly a second and a half.
+const (
+	DefaultAttempts = 5
+	DefaultBase     = 20 * time.Millisecond
+	DefaultMax      = 500 * time.Millisecond
+)
+
+// WithDefaults fills zero fields with the default policy.
+func (b Backoff) WithDefaults() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = DefaultAttempts
+	}
+	if b.Base <= 0 {
+		b.Base = DefaultBase
+	}
+	if b.Max <= 0 {
+		b.Max = DefaultMax
+	}
+	return b
+}
+
+// Delay returns the jittered sleep before retry attempt (1-based: the
+// sleep between try attempt and try attempt+1). It advances the seeded
+// jitter RNG, so calls from concurrent goroutines are safe but share
+// one jitter stream.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = DefaultBase
+	}
+	if max <= 0 {
+		max = DefaultMax
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	st := b.jitter()
+	st.mu.Lock()
+	jittered := d/2 + time.Duration(st.rng.Int63n(int64(d/2)))
+	st.mu.Unlock()
+	return jittered
+}
+
+// Wait sleeps the jittered delay for retry attempt, aborting
+// immediately with ctx.Err() if the context is cancelled first.
+func (b *Backoff) Wait(ctx context.Context, attempt int) error {
+	d := b.Delay(attempt)
+	if b.Sleep != nil {
+		return b.Sleep(ctx, d)
+	}
+	return sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

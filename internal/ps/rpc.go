@@ -7,8 +7,10 @@ import (
 	"io"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 
+	"mamdr/internal/faultinject"
 	"mamdr/internal/trace"
 )
 
@@ -21,6 +23,15 @@ import (
 // server-side span of a PullDense/PullRows/PushDelta links to the
 // worker-side span that issued it even though the two ends run in
 // different processes.
+//
+// Fault tolerance: every call — pulls and pushes alike — runs under a
+// shared jittered-exponential-backoff retry policy (Backoff). Pushes
+// became safe to retry once Delta grew its (WorkerID, Seq) idempotency
+// token: a retried push whose first attempt actually landed is
+// discarded server-side as a duplicate. A call that exhausts its
+// retries dumps the flight recorder and panics, failing the worker's
+// epoch loudly; the trainer's supervisor turns that panic into a dead
+// worker and redistributes its domains.
 
 // RPCService adapts a Server to net/rpc's method signature conventions.
 type RPCService struct {
@@ -43,6 +54,11 @@ type PullRowsArgs struct {
 type PushDeltaArgs struct {
 	TC    trace.TraceContext
 	Delta Delta
+}
+
+// SaveCheckpointArgs carries a SaveCheckpoint request.
+type SaveCheckpointArgs struct {
+	Epoch int
 }
 
 // Nothing is an empty argument/reply placeholder.
@@ -84,6 +100,26 @@ func (s *RPCService) Counters(_ Nothing, reply *Counters) error {
 	return nil
 }
 
+// Ping is the liveness probe: it answers as long as the server's RPC
+// loop is alive. Workers use it as a dedicated heartbeat when no data
+// call is in flight.
+func (s *RPCService) Ping(_ Nothing, _ *Nothing) error { return nil }
+
+// SaveCheckpoint persists the server's state (parameters, per-shard
+// optimizer state, epoch cursor) to its configured checkpoint path.
+func (s *RPCService) SaveCheckpoint(args SaveCheckpointArgs, _ *Nothing) error {
+	return s.server.SaveCheckpoint(args.Epoch)
+}
+
+// LoadCheckpoint restores the server from its configured checkpoint
+// path and returns the completed-epoch cursor, or -1 when no
+// checkpoint exists yet.
+func (s *RPCService) LoadCheckpoint(_ Nothing, reply *int) error {
+	epoch, err := s.server.LoadCheckpoint()
+	*reply = epoch
+	return err
+}
+
 // Serve registers the server on a fresh rpc.Server and services the
 // listener until it is closed. It is intended to run in its own
 // goroutine; accept errors after Close are swallowed.
@@ -104,18 +140,28 @@ func Serve(server *Server, lis net.Listener) {
 // Client is a Store backed by a remote parameter server.
 type Client struct {
 	mu     sync.Mutex
-	c      *rpc.Client
+	c      *rpc.Client // nil after a drop; conn() redials lazily
 	addr   string
 	layout Layout
 
-	// metrics counts RPC failures (and, like the server, mirrors
-	// nothing when nil); tracer raises an rpc_error anomaly into the
-	// flight recorder on a call failure.
+	// backoff is the retry policy for every call; the zero value means
+	// the default policy (seeded 0).
+	backoff Backoff
+
+	// injector, when non-nil, is consulted before every RPC attempt and
+	// may fail it, delay it, or drop the connection first — the chaos
+	// hook the fault-tolerance tests drive.
+	injector *faultinject.Injector
+
+	// metrics counts RPC failures and retries (and, like the server,
+	// mirrors nothing when nil); tracer raises an rpc_error anomaly into
+	// the flight recorder when a call exhausts its retries.
 	metrics *Metrics
 	tracer  *trace.Tracer
 }
 
 var _ Store = (*Client)(nil)
+var _ CheckpointStore = (*Client)(nil)
 
 // Dial connects to a parameter server at addr and fetches its layout.
 func Dial(addr string) (*Client, error) {
@@ -139,72 +185,158 @@ func (cl *Client) SetMetrics(m *Metrics) { cl.metrics = m }
 // calls.
 func (cl *Client) SetTracer(t *trace.Tracer) { cl.tracer = t }
 
+// SetBackoff replaces the retry policy. Attach before issuing calls.
+func (cl *Client) SetBackoff(b Backoff) { cl.backoff = b }
+
+// SetInjector attaches a fault injector to the transport. Attach
+// before issuing calls; nil disables injection.
+func (cl *Client) SetInjector(in *faultinject.Injector) { cl.injector = in }
+
 // Close releases the connection.
 func (cl *Client) Close() error {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	return cl.c.Close()
+	if cl.c == nil {
+		return nil
+	}
+	err := cl.c.Close()
+	cl.c = nil
+	return err
 }
 
-// conn returns the current connection.
-func (cl *Client) conn() *rpc.Client {
+// conn returns the current connection, dialing a fresh one if the last
+// was dropped or invalidated.
+func (cl *Client) conn() (*rpc.Client, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	return cl.c
+	if cl.c == nil {
+		c, err := rpc.Dial("tcp", cl.addr)
+		if err != nil {
+			return nil, err
+		}
+		cl.c = c
+	}
+	return cl.c, nil
 }
 
-// redial replaces a connection that failed mid-call. Only the first
-// caller holding the broken connection reconnects; racers that arrive
-// after the swap reuse the fresh one.
-func (cl *Client) redial(broken *rpc.Client) error {
+// invalidate discards a connection that failed mid-call, so the next
+// attempt redials. Only the caller holding the broken connection
+// discards it; racers that arrive after the swap keep the fresh one.
+func (cl *Client) invalidate(broken *rpc.Client) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	if cl.c != broken {
-		return nil // another goroutine already reconnected
+	if cl.c == broken && broken != nil {
+		broken.Close()
+		cl.c = nil
 	}
-	c, err := rpc.Dial("tcp", cl.addr)
-	if err != nil {
-		return err
+}
+
+// dropConn force-closes the current connection (injected conn faults).
+func (cl *Client) dropConn() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.c != nil {
+		cl.c.Close()
+		cl.c = nil
 	}
-	cl.c.Close()
-	cl.c = c
-	return nil
 }
 
 // transient reports whether an RPC failure is plausibly recoverable by
-// reconnecting: a shut-down client, a dropped connection, or any
-// network-level error — as opposed to a server-side application error.
+// reconnecting: a shut-down client, a dropped connection, any
+// network-level error, or an injected fault — as opposed to a
+// server-side application error.
 func transient(err error) bool {
 	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ie *faultinject.InjectedError
+	if errors.As(err, &ie) {
 		return true
 	}
 	var ne net.Error
 	return errors.As(err, &ne)
 }
 
-// call performs one RPC. Failures are counted in the telemetry
-// registry and raise an rpc_error anomaly (dumping the flight
-// recorder) before panicking with the remote address and method — a
-// worker cannot make progress without its parameter server, but the
-// operator should learn *which* server and call died, with the spans
-// leading up to it. Idempotent calls (retry=true: the pulls) get one
-// bounded reconnect-and-retry on transient transport errors first.
-func (cl *Client) call(ctx context.Context, method string, args, reply any, retry bool) {
-	conn := cl.conn()
-	err := conn.Call(method, args, reply)
+// callErr performs one logical RPC under the retry policy: transient
+// transport failures (and injected faults) are retried with jittered
+// exponential backoff up to the policy's attempt budget; server-side
+// application errors and context cancellation stop retrying
+// immediately. Every attempt first asks the fault injector for a
+// verdict, so chaos schedules exercise exactly this code path. The
+// injected-vs-organic distinction is visible on the call's span
+// ("injected" attribute) and in the flight-recorder trigger fields.
+func (cl *Client) callErr(ctx context.Context, method string, args, reply any) error {
+	pol := cl.backoff.WithDefaults()
+	op := strings.TrimPrefix(method, "PS.")
+	_, sp := trace.Start(ctx, "ps.rpc", trace.A("method", op))
+	injected := false
+	var lastErr error
+
+	for attempt := 1; attempt <= pol.Attempts; attempt++ {
+		if attempt > 1 {
+			cl.metrics.observeRPCRetry(op)
+			if err := cl.backoff.Wait(ctx, attempt-1); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		if f := cl.injector.Eval(op); f.Err != nil || f.Delay > 0 || f.DropConn {
+			if f.Delay > 0 {
+				if err := sleepCtx(ctx, f.Delay); err != nil {
+					lastErr = err
+					break
+				}
+			}
+			if f.DropConn {
+				cl.dropConn()
+			}
+			if f.Err != nil {
+				injected = true
+				lastErr = f.Err
+				cl.metrics.observeRPCFailure(op)
+				continue
+			}
+		}
+		conn, err := cl.conn()
+		if err != nil {
+			lastErr = err
+			cl.metrics.observeRPCFailure(op)
+			continue
+		}
+		if err := conn.Call(method, args, reply); err != nil {
+			lastErr = err
+			cl.metrics.observeRPCFailure(op)
+			if !transient(err) {
+				break // server-side application error: retrying cannot help
+			}
+			cl.invalidate(conn)
+			continue
+		}
+		sp.EndWith(trace.A("attempts", attempt), trace.A("injected", injected))
+		return nil
+	}
+	sp.EndWith(trace.A("attempts", pol.Attempts), trace.A("injected", injected),
+		trace.A("error", lastErr.Error()))
+	return lastErr
+}
+
+// call is callErr for calls the worker cannot survive: exhausting the
+// retry budget dumps the flight recorder (with the trace context and
+// whether the last failure was injected) and panics with the remote
+// address and method, failing the epoch loudly — a worker must never
+// silently desync from its parameter server.
+func (cl *Client) call(ctx context.Context, method string, args, reply any) {
+	err := cl.callErr(ctx, method, args, reply)
 	if err == nil {
 		return
 	}
-	cl.metrics.observeRPCFailure(method)
-	if retry && transient(err) {
-		if rerr := cl.redial(conn); rerr == nil {
-			if err = cl.conn().Call(method, args, reply); err == nil {
-				return
-			}
-			cl.metrics.observeRPCFailure(method)
-		}
+	var ie *faultinject.InjectedError
+	fields := map[string]any{
+		"method":   method,
+		"addr":     cl.addr,
+		"error":    err.Error(),
+		"injected": errors.As(err, &ie),
 	}
-	fields := map[string]any{"method": method, "addr": cl.addr, "error": err.Error()}
 	if tc := trace.ContextOf(ctx); tc.Valid() {
 		fields["trace_id"], fields["span_id"] = tc.TraceID, tc.SpanID
 	}
@@ -218,28 +350,53 @@ func (cl *Client) Layout() Layout { return cl.layout }
 // PullDense implements Store.
 func (cl *Client) PullDense(ctx context.Context) map[int][]float64 {
 	var reply map[int][]float64
-	cl.call(ctx, "PS.PullDense", PullDenseArgs{TC: trace.ContextOf(ctx)}, &reply, true)
+	cl.call(ctx, "PS.PullDense", PullDenseArgs{TC: trace.ContextOf(ctx)}, &reply)
 	return reply
 }
 
 // PullRows implements Store.
 func (cl *Client) PullRows(ctx context.Context, tensor int, rows []int) [][]float64 {
 	var reply [][]float64
-	cl.call(ctx, "PS.PullRows", PullRowsArgs{TC: trace.ContextOf(ctx), Tensor: tensor, Rows: rows}, &reply, true)
+	cl.call(ctx, "PS.PullRows", PullRowsArgs{TC: trace.ContextOf(ctx), Tensor: tensor, Rows: rows}, &reply)
 	return reply
 }
 
-// PushDelta implements Store. Pushes are not idempotent (the server
-// folds each delta into its optimizer state), so they are never
-// retried: a transient failure mid-push still panics rather than risk
-// double-applying an update.
+// PushDelta implements Store. Pushes carry a (WorkerID, Seq) token, so
+// the server discards a retried push whose earlier attempt actually
+// landed — which is what makes retrying them safe at all. A push that
+// exhausts its retries panics (epoch abort) rather than dropping the
+// delta silently.
 func (cl *Client) PushDelta(ctx context.Context, d Delta) {
-	cl.call(ctx, "PS.PushDelta", PushDeltaArgs{TC: trace.ContextOf(ctx), Delta: d}, &Nothing{}, false)
+	cl.call(ctx, "PS.PushDelta", PushDeltaArgs{TC: trace.ContextOf(ctx), Delta: d}, &Nothing{})
 }
 
 // Counters implements Store.
 func (cl *Client) Counters() Counters {
 	var reply Counters
-	cl.call(context.Background(), "PS.Counters", Nothing{}, &reply, true)
+	cl.call(context.Background(), "PS.Counters", Nothing{}, &reply)
 	return reply
+}
+
+// Ping probes server liveness through the retry policy, returning an
+// error only when the full attempt budget failed.
+func (cl *Client) Ping(ctx context.Context) error {
+	return cl.callErr(ctx, "PS.Ping", Nothing{}, &Nothing{})
+}
+
+// SaveCheckpoint implements CheckpointStore over RPC: the server
+// persists its state to its own configured checkpoint path.
+func (cl *Client) SaveCheckpoint(epoch int) error {
+	return cl.callErr(context.Background(), "PS.SaveCheckpoint", SaveCheckpointArgs{Epoch: epoch}, &Nothing{})
+}
+
+// LoadCheckpoint implements CheckpointStore over RPC. It returns -1
+// with a nil error when the server has no checkpoint yet (net/rpc
+// flattens error values, so absence is signaled in-band rather than
+// with a sentinel error).
+func (cl *Client) LoadCheckpoint() (int, error) {
+	var epoch int
+	if err := cl.callErr(context.Background(), "PS.LoadCheckpoint", Nothing{}, &epoch); err != nil {
+		return 0, err
+	}
+	return epoch, nil
 }

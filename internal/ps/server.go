@@ -141,6 +141,13 @@ type Delta struct {
 	// and their per-row deltas.
 	Rows      map[int][]int
 	RowDeltas map[int][][]float64
+	// WorkerID and Seq form the idempotency token that makes pushes safe
+	// to retry: the server remembers each worker's last applied sequence
+	// and discards a delta it has already folded in. Seq is 1-based and
+	// strictly increasing per worker; Seq == 0 marks an untagged delta
+	// that is always applied (single-shot callers that never retry).
+	WorkerID int
+	Seq      int64
 }
 
 // Server is the in-process parameter server. Tensors are partitioned
@@ -164,6 +171,16 @@ type Server struct {
 	// the RPC transport uses it to adopt remote TraceContexts. Nil
 	// means untraced.
 	tracer *trace.Tracer
+
+	// seqMu guards lastSeq, the per-worker last-applied push sequence
+	// that makes retried pushes idempotent (duplicates are discarded
+	// before touching any shard).
+	seqMu   sync.Mutex
+	lastSeq map[int]int64
+
+	// ckptPath, when set, is where SaveCheckpoint/LoadCheckpoint persist
+	// the server's crash-safe snapshot (see checkpoint.go).
+	ckptPath string
 }
 
 // SetMetrics attaches a telemetry mirror for the traffic counters.
@@ -208,6 +225,7 @@ func NewServer(params []*autograd.Tensor, tables map[int]int, numShards int, out
 	s := &Server{
 		layout:  layout,
 		shardOf: make([]int, len(params)),
+		lastSeq: map[int]int64{},
 	}
 	for i := 0; i < numShards; i++ {
 		s.shards = append(s.shards, &shard{
@@ -281,6 +299,21 @@ func (s *Server) PushDelta(ctx context.Context, d Delta) {
 	_, sp := trace.Start(ctx, "ps.push_delta",
 		trace.A("dense_tensors", len(d.Dense)), trace.A("row_tensors", len(d.Rows)))
 	defer sp.End()
+	// Idempotency gate: a tagged delta (Seq > 0) is applied exactly once
+	// per worker. The decision and the cursor advance happen atomically
+	// under seqMu, so a duplicate delivered concurrently with the
+	// original is discarded even before the original finishes applying.
+	if d.Seq > 0 {
+		s.seqMu.Lock()
+		if d.Seq <= s.lastSeq[d.WorkerID] {
+			s.seqMu.Unlock()
+			sp.SetAttr("duplicate", true)
+			s.metrics.observeDuplicatePush()
+			return
+		}
+		s.lastSeq[d.WorkerID] = d.Seq
+		s.seqMu.Unlock()
+	}
 	if len(d.Dense) > 0 {
 		atomic.AddInt64(&s.counters.densePushes, 1)
 		s.metrics.observeDensePush()

@@ -57,7 +57,19 @@ type Worker struct {
 	// the step that issued it (across the RPC socket too).
 	Tracer *trace.Tracer
 
+	// OnBeat, when non-nil, is the worker's heartbeat: it fires after
+	// every completed mini-batch (piggybacking liveness on real
+	// progress), so a supervisor can declare the worker dead after a
+	// missed-heartbeat deadline without any extra RPC traffic.
+	OnBeat func()
+
 	params []*autograd.Tensor
+	// pushSeq numbers this worker's pushes (1-based); together with ID
+	// it forms the Delta idempotency token that makes retries safe.
+	pushSeq int64
+	// pending holds the epoch's delta between TrainEpoch and PushEpoch
+	// in the trainer's deterministic synchronous-push mode.
+	pending *Delta
 	// static holds the epoch-start values: full tensors for dense
 	// parameters, and per-row values for embedding rows as they are
 	// first pulled.
@@ -114,10 +126,61 @@ func (w *Worker) verifyLayout() {
 	}
 }
 
+// WorkerAbort is the panic value a worker raises when its supervisor
+// cancels it (missed heartbeats, shutdown): the trainer's recovery path
+// distinguishes a deliberate abort from an organic crash.
+type WorkerAbort struct {
+	ID     int
+	Reason string
+}
+
+// Error implements error.
+func (a *WorkerAbort) Error() string {
+	return fmt.Sprintf("ps: worker %d aborted: %s", a.ID, a.Reason)
+}
+
 // RunEpoch executes one DN inner loop over the worker's domains and
 // pushes the outer-loop delta to the parameter server.
 func (w *Worker) RunEpoch(rng *rand.Rand) {
-	ctx := w.Tracer.Context(context.Background())
+	w.RunEpochCtx(context.Background(), rng)
+}
+
+// RunEpochCtx is RunEpoch under a supervisor's context: the worker
+// checks ctx between mini-batches and panics with *WorkerAbort once it
+// is cancelled, so a hung or condemned worker stops at the next batch
+// boundary instead of finishing the epoch.
+func (w *Worker) RunEpochCtx(ctx context.Context, rng *rand.Rand) {
+	w.runEpoch(ctx, rng, false)
+}
+
+// TrainEpoch runs the inner loops but defers the outer push: the
+// epoch's delta is computed against the epoch-start state and parked
+// until PushEpoch. The trainer's deterministic mode runs all workers'
+// TrainEpochs concurrently (every worker reads the same epoch-start
+// parameters, since nobody pushes) and then applies PushEpoch serially
+// in worker-id order, which makes distributed training bit-reproducible
+// under a fixed seed. Requires the PS-Worker cache: without it the
+// worker pushes mid-epoch by design.
+func (w *Worker) TrainEpoch(ctx context.Context, rng *rand.Rand) {
+	if !w.CacheEnabled {
+		panic(fmt.Sprintf("ps: worker %d: TrainEpoch requires CacheEnabled (deferred pushes)", w.ID))
+	}
+	w.runEpoch(ctx, rng, true)
+}
+
+// PushEpoch applies the delta parked by TrainEpoch.
+func (w *Worker) PushEpoch(ctx context.Context) {
+	if w.pending != nil {
+		ctx = w.Tracer.Context(ctx)
+		w.send(ctx, *w.pending)
+		w.pending = nil
+	}
+}
+
+// runEpoch is the shared epoch body; deferPush parks the outer delta
+// for PushEpoch instead of sending it.
+func (w *Worker) runEpoch(ctx context.Context, rng *rand.Rand, deferPush bool) {
+	ctx = w.Tracer.Context(ctx)
 	ctx, epochSpan := trace.Start(ctx, "worker.epoch", trace.A("worker", w.ID))
 	defer epochSpan.End()
 
@@ -146,6 +209,9 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 		rec.BeforePass()
 		var total float64
 		for _, b := range batches {
+			if err := ctx.Err(); err != nil {
+				panic(&WorkerAbort{ID: w.ID, Reason: err.Error()})
+			}
 			w.resolveEmbeddingRows(stepCtx, b)
 			for _, p := range w.params {
 				p.ZeroGrad()
@@ -161,10 +227,13 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 			op.End()
 			total += loss.Item()
 			w.batchClock++
+			if w.OnBeat != nil {
+				w.OnBeat()
+			}
 			if !w.CacheEnabled {
 				// Naive protocol: push this batch's deltas right away
 				// and drop the cache so the next batch re-pulls.
-				w.pushDelta(stepCtx)
+				w.send(stepCtx, w.buildDelta())
 				w.pullDense(stepCtx)
 				w.staticRows = map[int]map[int][]float64{}
 				w.dynamicRows = map[int]map[int]bool{}
@@ -178,11 +247,21 @@ func (w *Worker) RunEpoch(rng *rand.Rand) {
 		rec.AfterPassTC(d, total, stepSpan.Context())
 	}
 	if w.CacheEnabled {
-		w.pushDelta(ctx)
+		d := w.buildDelta()
+		if deferPush {
+			w.pending = &d
+		} else {
+			w.send(ctx, d)
+		}
 	}
 	rec.Finish(-1)
-	// Clear caches for the next epoch (paper: "we clear both the
-	// static-cache and dynamic-cache for next epoch").
+	w.clearCaches()
+}
+
+// clearCaches drops the static and dynamic caches for the next epoch
+// (paper: "we clear both the static-cache and dynamic-cache for next
+// epoch").
+func (w *Worker) clearCaches() {
 	w.staticDense = nil
 	w.staticRows = nil
 	w.dynamicRows = nil
@@ -261,9 +340,9 @@ func (w *Worker) rowsTouchedBy(b *data.Batch, t, field int) []int {
 	return rows
 }
 
-// pushDelta sends Θ̃−Θ to the PS: full deltas for dense tensors, touched
-// rows only for embeddings.
-func (w *Worker) pushDelta(ctx context.Context) {
+// buildDelta computes Θ̃−Θ against the caches: full deltas for dense
+// tensors, touched rows only for embeddings.
+func (w *Worker) buildDelta() Delta {
 	layout := w.Store.Layout()
 	d := Delta{Dense: map[int][]float64{}, Rows: map[int][]int{}, RowDeltas: map[int][][]float64{}}
 	for t, p := range w.params {
@@ -302,5 +381,22 @@ func (w *Worker) pushDelta(ctx context.Context) {
 		}
 		d.Dense[t] = delta
 	}
+	return d
+}
+
+// send tags the delta with the worker's idempotency token and pushes
+// it. A failed push — the Store panics when a push exhausts its
+// retries — is never silent: it is counted as push_failures_total in
+// the telemetry registry and re-raised, aborting the epoch so the
+// supervisor sees a dead worker rather than a silently desynced one.
+func (w *Worker) send(ctx context.Context, d Delta) {
+	w.pushSeq++
+	d.WorkerID, d.Seq = w.ID, w.pushSeq
+	defer func() {
+		if r := recover(); r != nil {
+			w.Metrics.observePushFailure()
+			panic(r)
+		}
+	}()
 	w.Store.PushDelta(ctx, d)
 }

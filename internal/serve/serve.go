@@ -117,6 +117,10 @@ type Server struct {
 	snap atomic.Pointer[snapshot]
 	pool chan *replica
 
+	// draining flips on SIGTERM: /readyz starts failing so load
+	// balancers stop routing here, while in-flight requests finish.
+	draining atomic.Bool
+
 	metrics *serveMetrics
 }
 
@@ -240,12 +244,22 @@ type AddDomainResponse struct {
 	ID int `json:"id"`
 }
 
+// SetDraining marks the server as draining (or not): while draining,
+// /readyz returns 503 so load balancers route new traffic elsewhere,
+// but /healthz stays green and in-flight requests complete — the
+// standard graceful-shutdown handshake.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // Handler returns the HTTP routes:
 //
 //	POST /predict     {domain, users[], items[]} -> {probabilities[]}
 //	GET  /domains     -> {num_domains, names[]}
 //	POST /domains     -> {id}   (registers a new domain)
-//	GET  /healthz     -> 200 ok
+//	GET  /healthz     -> 200 ok (liveness: the process serves HTTP)
+//	GET  /readyz      -> 200 when ready to take traffic: a model
+//	                     snapshot is published, at least one replica is
+//	                     free, and the server is not draining; 503
+//	                     otherwise, with the reason in the body
 //	GET  /metrics     -> Prometheus text exposition (when Options.Metrics is set)
 //
 // With Options.Metrics or Options.AccessLog set, every response carries
@@ -258,6 +272,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/readyz", s.handleReady)
 	if s.opts.Metrics != nil {
 		mux.Handle("/metrics", s.opts.Metrics.Handler())
 	}
@@ -265,6 +280,23 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/debug/trace", trace.CaptureHandler(s.opts.Tracer))
 	}
 	return s.instrument(mux)
+}
+
+// handleReady is the readiness probe: unlike /healthz (alive at all),
+// it answers 200 only when the server can actually serve a prediction
+// right now — a snapshot is published, the replica pool has a free
+// replica, and no drain is in progress.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.snap.Load() == nil:
+		http.Error(w, "no model snapshot loaded", http.StatusServiceUnavailable)
+	case len(s.pool) == 0:
+		http.Error(w, "replica pool saturated", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {

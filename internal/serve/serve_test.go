@@ -445,3 +445,70 @@ func TestConcurrentPredicts(t *testing.T) {
 		t.Fatal("concurrent predicts failed")
 	}
 }
+
+func TestReadyzReflectsDraining(t *testing.T) {
+	s, _ := testServer(t)
+	h := s.Handler()
+	get := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	if w := get(); w.Code != http.StatusOK {
+		t.Fatalf("readyz before drain = %d, want 200", w.Code)
+	}
+
+	s.SetDraining(true)
+	w := get()
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "draining") {
+		t.Fatalf("drain reason missing: %q", w.Body.String())
+	}
+	// /healthz stays green during a drain: the process is alive, it just
+	// wants no new traffic.
+	reqH := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	wh := httptest.NewRecorder()
+	h.ServeHTTP(wh, reqH)
+	if wh.Code != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200", wh.Code)
+	}
+
+	s.SetDraining(false)
+	if w := get(); w.Code != http.StatusOK {
+		t.Fatalf("readyz after drain cancelled = %d, want 200", w.Code)
+	}
+}
+
+func TestReadyzReportsPoolSaturation(t *testing.T) {
+	st, ds, factory := testState(t)
+	s := NewWithOptions(st, ds, Options{Replicas: 1, ReplicaFactory: factory})
+	h := s.Handler()
+	get := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	if w := get(); w.Code != http.StatusOK {
+		t.Fatalf("readyz with a free replica = %d, want 200", w.Code)
+	}
+
+	r := <-s.pool // all replicas busy
+	w := get()
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with saturated pool = %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "saturated") {
+		t.Fatalf("saturation reason missing: %q", w.Body.String())
+	}
+
+	s.pool <- r
+	if w := get(); w.Code != http.StatusOK {
+		t.Fatalf("readyz after replica returned = %d, want 200", w.Code)
+	}
+}

@@ -116,6 +116,16 @@ type TrainSpec struct {
 	DRLR float64
 	// SampleK is DR's helper-domain sample count k.
 	SampleK int
+	// CheckpointDir enables crash-safe epoch-boundary checkpointing for
+	// frameworks that support it (MAMDR): parameters plus outer
+	// optimizer state land atomically in <dir>/mamdr.ckpt every
+	// CheckpointEvery epochs (default 1 when a dir is set).
+	CheckpointDir   string
+	CheckpointEvery int
+	// Resume restores the last checkpoint in CheckpointDir and skips the
+	// epochs it covers; with the same Seed the resumed run reproduces an
+	// uninterrupted run bit for bit.
+	Resume bool
 	// EmbDim and Hidden override the model defaults when non-zero.
 	EmbDim int
 	Hidden []int
@@ -178,13 +188,16 @@ func Train(spec TrainSpec) (*Result, error) {
 		return nil, err
 	}
 	cfg := framework.Config{
-		Epochs:    spec.Epochs,
-		BatchSize: spec.BatchSize,
-		Seed:      spec.Seed,
-		LR:        spec.InnerLR,
-		OuterLR:   spec.OuterLR,
-		DRLR:      spec.DRLR,
-		SampleK:   spec.SampleK,
+		Epochs:          spec.Epochs,
+		BatchSize:       spec.BatchSize,
+		Seed:            spec.Seed,
+		LR:              spec.InnerLR,
+		OuterLR:         spec.OuterLR,
+		DRLR:            spec.DRLR,
+		SampleK:         spec.SampleK,
+		CheckpointDir:   spec.CheckpointDir,
+		CheckpointEvery: spec.CheckpointEvery,
+		Resume:          spec.Resume,
 	}
 	if spec.Metrics != nil || spec.Events != nil || spec.Tracer != nil {
 		cfg.Telemetry = framework.NewTrainMetrics(spec.Metrics, spec.Dataset, spec.Events)

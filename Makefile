@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-serve bench-telemetry smoke-trace smoke-chaos ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry smoke-trace smoke-chaos smoke-cluster ci check
 
 all: check
 
@@ -43,10 +43,31 @@ smoke-chaos:
 	grep -E '[1-9][0-9]* faults injected' /tmp/chaos-faulty.log
 	$(GO) test -count=1 -run 'TestChaosDeterminismOverRPC|TestResumeMatchesUninterrupted' ./internal/ps/
 
-# The PS and serving paths are the concurrent hot spots; keep them
-# race-clean.
+# The CI cluster-smoke job locally: a 2-worker run against a 3-shard
+# partitioned PS cluster with injected per-shard faults must print
+# exactly the same per-domain AUC table as the 1-shard run (the
+# partition plan is a pure function of the layout and seed; SyncPush
+# fixes the delta-apply order), the injected faults must be counted,
+# and the trace must carry the scatter-gather spans. Amazon-6 is the
+# preset with learned embeddings, so row traffic crosses the shards.
+smoke-cluster:
+	$(GO) run ./cmd/mamdr-train -preset amazon-6 -samples 2000 -epochs 3 \
+		-ps-workers 2 -ps-sync-push -seed 7 \
+		| grep -v '^trained in\|^training ' > /tmp/cluster-1shard.txt
+	$(GO) run ./cmd/mamdr-train -preset amazon-6 -samples 2000 -epochs 3 \
+		-ps-workers 2 -ps-sync-push -seed 7 -ps-shards 3 \
+		-ps-faults "PullRows:err@2; PushDelta:err@5; conn:drop@6" \
+		-trace /tmp/cluster.trace.json \
+		2>/tmp/cluster-3shard.log | grep -v '^trained in\|^training ' > /tmp/cluster-3shard.txt
+	diff /tmp/cluster-1shard.txt /tmp/cluster-3shard.txt
+	grep -E '[1-9][0-9]* faults injected' /tmp/cluster-3shard.log
+	python3 -c "import json; n={e['name'] for e in json.load(open('/tmp/cluster.trace.json'))}; missing={'cluster.pull_rows','cluster.push_delta','cluster.shard_call'}-n; assert not missing, missing; print('ok: cluster spans present')"
+	$(GO) test -count=1 -run 'TestClusterTrainingBitIdenticalAcrossShardCounts|TestShardFailoverMatchesCleanRun|TestClusterChaosOverRPCBitIdentical' ./internal/cluster/
+
+# The PS, cluster, and serving paths are the concurrent hot spots; keep
+# them race-clean.
 race:
-	$(GO) test -race -count=1 ./internal/ps/... ./internal/serve/...
+	$(GO) test -race -count=1 ./internal/ps/... ./internal/cluster/... ./internal/serve/...
 
 bench-serve:
 	$(GO) test ./internal/serve -run xxx -bench ServeThroughput -benchtime 2s
@@ -63,5 +84,6 @@ ci:
 	$(GO) build ./...
 	$(GO) test -race ./...
 	$(MAKE) smoke-chaos
+	$(MAKE) smoke-cluster
 
 check: vet build test race

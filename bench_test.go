@@ -10,12 +10,17 @@ package mamdr
 // the complete table.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
+	"mamdr/internal/autograd"
+	"mamdr/internal/cluster"
 	"mamdr/internal/data"
 	"mamdr/internal/exp"
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
+	"mamdr/internal/ps"
 	"mamdr/internal/synth"
 )
 
@@ -124,6 +129,53 @@ func BenchmarkTrainEpoch(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				fw.Fit(m, ds, cfg)
+			}
+		})
+	}
+}
+
+// BenchmarkClusterSync measures the scatter-gather synchronization path
+// against 1 vs 4 in-process parameter-server shards: each iteration is
+// one worker round — pull all dense tensors, pull a batch's embedding
+// rows from a wide table, push the combined delta. The sub-benchmark
+// names report the plan imbalance so the partition quality is visible
+// next to the latency numbers.
+func BenchmarkClusterSync(b *testing.B) {
+	const embRows, embCols = 20000, 16
+	params := []*autograd.Tensor{
+		autograd.ParamZeros(embRows, embCols), // wide embedding table, field 0
+		autograd.ParamZeros(128, 64),          // dense
+		autograd.ParamZeros(64, 1),            // dense
+	}
+	tables := map[int]int{0: 0}
+	layout := ps.LayoutOf(params, tables)
+
+	rows := make([]int, 512)
+	for i := range rows {
+		rows[i] = (i * 39) % embRows // spread over the table
+	}
+	rowDeltas := make([][]float64, len(rows))
+	for i := range rowDeltas {
+		rowDeltas[i] = make([]float64, embCols)
+	}
+	denseDelta := make([]float64, 128*64)
+
+	for _, shards := range []int{1, 4} {
+		plan := ps.NewPlan(layout, shards, 7)
+		local := cluster.NewLocal(params, plan, cluster.ShardOptions{}, cluster.Options{})
+		b.Run(fmt.Sprintf("shards=%d/imbalance=%.2f", shards, plan.Imbalance()), func(b *testing.B) {
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				local.Router.PullDense(ctx)
+				local.Router.PullRows(ctx, 0, rows)
+				local.Router.PushDelta(ctx, ps.Delta{
+					WorkerID: 0, Seq: int64(i + 1),
+					Dense:     map[int][]float64{1: denseDelta},
+					Rows:      map[int][]int{0: rows},
+					RowDeltas: map[int][][]float64{0: rowDeltas},
+				})
 			}
 		})
 	}

@@ -6,6 +6,7 @@
 //
 //	datagen -preset taobao-10 -samples 20000 -seed 7 -out taobao10.json
 //	datagen -preset amazon-6 -format csv -out ./amazon6/
+//	datagen -preset amazon-6 -imbalance 1.15 -out skewed.json   # Zipf-skewed domain sizes
 //	datagen -stats -samples 20000
 package main
 
@@ -32,6 +33,9 @@ func main() {
 		out     = flag.String("out", "", "output path (.json file or directory for -format csv)")
 		format  = flag.String("format", "json", "output format: json or csv")
 		stats   = flag.Bool("stats", false, "print Table I-IV style statistics for all presets and exit")
+		// -imbalance 1.15 on a uniform 6-domain preset approximates the
+		// real Amazon-6 head/tail sample ratio (~7.8x, Table II).
+		imbalance = flag.Float64("imbalance", 0, "Zipf exponent s > 0: re-skew the preset's sample budget so domain sizes follow 1/rank^s (0 = keep the preset's profile)")
 	)
 	flag.Parse()
 
@@ -44,6 +48,9 @@ func main() {
 	cfg, ok := presets[*preset]
 	if !ok {
 		log.Fatalf("unknown preset %q (have %s)", *preset, strings.Join(presetNames(presets), ", "))
+	}
+	if *imbalance > 0 {
+		cfg = synth.WithZipfImbalance(cfg, *imbalance)
 	}
 	ds := synth.Generate(cfg)
 	if err := ds.Validate(); err != nil {

@@ -6,7 +6,10 @@
 //	mamdr-train -preset taobao-10 -model mlp -framework mamdr -epochs 15
 //	mamdr-train -data my_dataset.json -model star -framework alternate
 //	mamdr-train -metrics-addr :9090 -events run.jsonl     # observability
-//	mamdr-train -ps-workers 4 -ps-shards 4                # distributed PS-Worker run
+//	mamdr-train -ps-workers 4                             # distributed PS-Worker run
+//	mamdr-train -ps-workers 4 -ps-shards 3                # partitioned PS cluster (in-process shards)
+//	mamdr-train -ps-serve  127.0.0.1:7001,127.0.0.1:7002  # host the shard servers and block
+//	mamdr-train -ps-workers 4 -ps-addrs 127.0.0.1:7001,127.0.0.1:7002   # train against them
 package main
 
 import (
@@ -18,10 +21,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"text/tabwriter"
 	"time"
 
 	"mamdr"
+	"mamdr/internal/cluster"
 	"mamdr/internal/data"
 	"mamdr/internal/faultinject"
 	"mamdr/internal/framework"
@@ -60,10 +65,14 @@ func main() {
 		flightDump  = flag.String("flight-dump", "", "flight-recorder dump path prefix for anomalies (default <trace>.flight when -trace is set)")
 
 		psWorkers = flag.Int("ps-workers", 0, "run distributed PS-Worker training with this many workers (0 = single process; mamdr framework only)")
-		psShards  = flag.Int("ps-shards", 4, "parameter-server shard count for -ps-workers")
+		psShards  = flag.Int("ps-shards", 1, "partition the parameter server across this many cluster shards (>1 = multi-PS mode; training is bit-identical across shard counts)")
 		psCache   = flag.Bool("ps-cache", true, "enable the PS-Worker embedding cache (§IV-E) for -ps-workers")
 		psFaults  = flag.String("ps-faults", "", `fault-injection schedule for -ps-workers chaos runs, e.g. "PushDelta:err@p0.05; PullRows:delay=10ms@*" (seeded by -seed + worker id)`)
 		psSync    = flag.Bool("ps-sync-push", false, "apply worker deltas serially per epoch for bit-reproducible distributed runs")
+
+		psAddrs  = flag.String("ps-addrs", "", "comma-separated addresses of running shard servers to train against (replicas of one shard joined with '|'); see -ps-serve")
+		psServe  = flag.String("ps-serve", "", "host the parameter-server shards on these comma-separated addresses for -model/-preset and block (replica addresses of one shard joined with '|')")
+		replicas = flag.Int("shard-replicas", 1, "replicas per cluster shard: writes broadcast to all, reads fail over past dead ones")
 
 		checkpointDir   = flag.String("checkpoint-dir", "", "write crash-safe epoch-boundary checkpoints into this directory")
 		checkpointEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in epochs (with -checkpoint-dir)")
@@ -134,18 +143,38 @@ func main() {
 	}
 
 	fmt.Printf("dataset %s: %d domains, %d samples\n", ds.Name, ds.NumDomains(), ds.TotalSamples())
+
+	// Shard-server mode: host this model's slice servers and block. A
+	// training process with matching -model/-emb/-seed (so the partition
+	// plans agree) then connects with -ps-addrs.
+	if *psServe != "" {
+		serveCluster(ds, *model, *psServe, *embDim, *seed, *outerLR, *checkpointDir, tracer)
+		return
+	}
+
 	start := time.Now()
 	var (
 		valAUC, testAUC []float64
 	)
 	if *psWorkers > 0 {
+		// An explicit -ps-shards — even "-ps-shards 1" — opts into the
+		// cluster path, so shard-scaling experiments can compare the
+		// same code path (and the same telemetry series) at 1/2/4
+		// shards. Leaving the flag unset keeps the plain single-server
+		// deployment.
+		shards := *psShards
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "ps-shards" && shards == 1 {
+				shards = -1 // cluster mode, one shard
+			}
+		})
 		fmt.Printf("training %s with distributed mamdr (%d workers, %d shards, cache=%v) for %d epochs...\n",
 			*model, *psWorkers, *psShards, *psCache, *epochs)
 		valAUC, testAUC = trainDistributed(ds, *model, trainOpts{
-			workers: *psWorkers, shards: *psShards, cache: *psCache,
+			workers: *psWorkers, shards: shards, replicas: *replicas, cache: *psCache,
 			epochs: *epochs, batch: *batch, innerLR: *innerLR, outerLR: *outerLR,
 			drLR: *drLR, sampleK: *sampleK, embDim: *embDim, seed: *seed,
-			faults: *psFaults, syncPush: *psSync,
+			faults: *psFaults, syncPush: *psSync, addrs: *psAddrs,
 			checkpointDir: *checkpointDir, checkpointEvery: *checkpointEvery, resume: *resume,
 		}, reg, events, tracer)
 	} else {
@@ -205,18 +234,78 @@ func main() {
 }
 
 type trainOpts struct {
-	workers, shards        int
-	cache                  bool
-	epochs, batch          int
-	innerLR, outerLR, drLR float64
-	sampleK, embDim        int
-	seed                   int64
+	workers, shards, replicas int
+	cache                     bool
+	epochs, batch             int
+	innerLR, outerLR, drLR    float64
+	sampleK, embDim           int
+	seed                      int64
 
 	faults          string // faultinject schedule applied to every worker's store
 	syncPush        bool
+	addrs           string // remote shard addresses (cluster mode over sockets)
 	checkpointDir   string
 	checkpointEvery int
 	resume          bool
+}
+
+// parseShardAddrs splits "a,b,c" into per-shard address groups; the
+// replicas of one shard are joined with '|' ("a0|a1,b0|b1").
+func parseShardAddrs(s string) [][]string {
+	var out [][]string
+	for _, shard := range strings.Split(s, ",") {
+		var reps []string
+		for _, a := range strings.Split(shard, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, a)
+			}
+		}
+		if len(reps) > 0 {
+			out = append(out, reps)
+		}
+	}
+	return out
+}
+
+// serveCluster hosts the parameter-server shards of the given model on
+// the listed addresses and blocks. The partition plan is derived from
+// the model layout and -seed, exactly as the training side derives it,
+// so both ends agree on which shard owns which slice (cluster.Dial
+// verifies the layouts and refuses a mismatched cluster).
+func serveCluster(ds *mamdr.Dataset, model, addrSpec string, embDim int, seed int64, outerLR float64, checkpointDir string, tracer *trace.Tracer) {
+	groups := parseShardAddrs(addrSpec)
+	if len(groups) == 0 {
+		log.Fatal("-ps-serve: no addresses given")
+	}
+	reps := len(groups[0])
+	for _, g := range groups {
+		if len(g) != reps {
+			log.Fatalf("-ps-serve: every shard needs the same replica count (got %v)", groups)
+		}
+	}
+	serving := models.MustNew(model, models.Config{Dataset: ds, EmbDim: embDim, Seed: seed})
+	tables := models.EmbeddingTablesOf(serving)
+	plan := ps.NewPlan(ps.LayoutOf(serving.Parameters(), tables), len(groups), seed)
+	so := cluster.ShardOptions{Replicas: reps, OuterLR: outerLR, Tracer: tracer}
+	if checkpointDir != "" {
+		if err := os.MkdirAll(checkpointDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		so.CheckpointPath = filepath.Join(checkpointDir, "ps.ckpt")
+	}
+	servers := cluster.Shards(serving.Parameters(), plan, so)
+	log.Printf("serving %s", plan.String())
+	for sh, g := range groups {
+		for rep, addr := range g {
+			lis, err := net.Listen("tcp", addr)
+			if err != nil {
+				log.Fatalf("shard %d replica %d: %v", sh, rep, err)
+			}
+			log.Printf("shard %d replica %d on %s (%d elements)", sh, rep, lis.Addr(), plan.Elements(sh))
+			go ps.Serve(servers[sh][rep], lis)
+		}
+	}
+	select {} // serve until killed
 }
 
 // trainDistributed runs the PS-Worker trainer (the paper's industrial
@@ -243,7 +332,7 @@ func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemet
 		}
 	}
 	opts := ps.Options{
-		Workers: o.workers, Shards: o.shards, CacheEnabled: o.cache,
+		Workers: o.workers, CacheEnabled: o.cache,
 		Epochs: o.epochs, BatchSize: o.batch,
 		InnerLR: o.innerLR, OuterLR: o.outerLR,
 		UseDR: true, SampleK: o.sampleK, DRLR: o.drLR,
@@ -260,9 +349,15 @@ func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemet
 		opts.Resume = o.resume
 	}
 	var res *ps.Result
-	if o.faults == "" {
+	switch {
+	case o.addrs != "" || o.shards != 1 || o.replicas > 1:
+		// Multi-PS mode: the parameter space is partitioned across
+		// cluster shards (in-process, or the remote servers behind
+		// -ps-addrs) and a scatter-gather router fronts them.
+		res = trainCluster(ds, replica, o, opts, reg, tracer)
+	case o.faults == "":
 		res = ps.Train(replica, ds, opts)
-	} else {
+	default:
 		// Chaos mode: the PS serves over a real loopback RPC socket and
 		// every worker talks through its own client armed with a seeded
 		// fault injector, so the injected errors, delays, and connection
@@ -281,6 +376,132 @@ func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemet
 	}
 	return framework.EvaluateAUC(res.State, ds, data.Val), framework.EvaluateAUC(res.State, ds, data.Test)
 }
+
+// trainCluster runs the distributed trainer against a partitioned
+// parameter-server cluster: N shards each owning a deterministic slice
+// of the parameter space, fronted by a scatter-gather router. Three
+// deployments share this code path:
+//
+//   - in-process shards (-ps-shards N): everything in this binary;
+//   - remote shards (-ps-addrs): each worker dials every shard server;
+//   - chaos (-ps-faults with either): in-process shards are lifted onto
+//     loopback sockets and every worker's per-shard clients carry a
+//     seeded fault injector, so faults hit each shard independently.
+//
+// The partition plan is a pure function of (layout, shards, seed), so
+// with -ps-sync-push the run is bit-identical across shard counts.
+func trainCluster(ds *mamdr.Dataset, replica func() models.Model, o trainOpts, opts ps.Options, reg *telemetry.Registry, tracer *trace.Tracer) *ps.Result {
+	filled := opts.WithDefaults()
+	serving := replica()
+	tables := models.EmbeddingTablesOf(serving)
+
+	shards := o.shards
+	var groups [][]string
+	if o.addrs != "" {
+		groups = parseShardAddrs(o.addrs)
+		shards = len(groups)
+	}
+	plan := ps.NewPlan(ps.LayoutOf(serving.Parameters(), tables), shards, o.seed)
+	log.Printf("cluster: %s", plan.String())
+	ro := cluster.Options{Metrics: cluster.NewMetrics(reg), Tracer: tracer}
+
+	var injectors []*faultinject.Injector
+	clientCfg := func(workerID int) func(sh, rep int, cl *ps.Client) {
+		return func(sh, rep int, cl *ps.Client) {
+			seed := o.seed + int64(workerID*100+sh*10+rep)
+			cl.SetBackoff(ps.Backoff{Seed: seed})
+			cl.SetMetrics(opts.Metrics)
+			cl.SetTracer(tracer)
+			if o.faults != "" && workerID >= 0 {
+				inj := faultinject.MustParse(o.faults, seed)
+				inj.BindMetrics(reg)
+				cl.SetInjector(inj)
+				injectors = append(injectors, inj)
+			}
+		}
+	}
+
+	if groups == nil && o.faults == "" {
+		// Fully in-process: workers share one router over the shard
+		// servers, no sockets involved.
+		so := cluster.ShardOptions{
+			Replicas: o.replicas, OuterOpt: filled.OuterOpt, OuterLR: filled.OuterLR,
+			CheckpointPath: opts.CheckpointPath, Tracer: tracer,
+		}
+		local := cluster.NewLocal(serving.Parameters(), plan, so, ro)
+		return ps.TrainWithStore(replica, serving, local.Router, local.Router, ds, opts)
+	}
+
+	if groups == nil {
+		// Chaos over a cluster: lift the in-process shards onto loopback
+		// sockets so the injected faults exercise the real per-shard
+		// RPC retry/idempotency path.
+		so := cluster.ShardOptions{
+			Replicas: o.replicas, OuterOpt: filled.OuterOpt, OuterLR: filled.OuterLR,
+			CheckpointPath: opts.CheckpointPath, Tracer: tracer,
+		}
+		servers := cluster.Shards(serving.Parameters(), plan, so)
+		addrs, closeAll, err := cluster.ServeTCP(servers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeAll()
+		groups = addrs
+		log.Printf("chaos: %d shard servers on loopback, fault schedule %q", shards, o.faults)
+	}
+
+	// The base router (no injector) serves snapshots and checkpoints;
+	// each worker dials its own per-shard clients so faults and retries
+	// are independent per (worker, shard). The logical traffic counters
+	// therefore live on the workers' routers, not base — sum them all
+	// so the reported numbers match an in-process run's.
+	base, err := cluster.Dial(plan, groups, clientCfg(-1), ro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mu sync.Mutex
+	routers := []*cluster.Router{base}
+	opts.WrapStore = func(workerID int, _ ps.Store) ps.Store {
+		r, err := cluster.Dial(plan, groups, clientCfg(workerID), cluster.Options{Metrics: ro.Metrics, Tracer: tracer})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mu.Lock()
+		routers = append(routers, r)
+		mu.Unlock()
+		return r
+	}
+	res := ps.TrainWithStore(replica, serving, base, counterFunc(func() ps.Counters {
+		mu.Lock()
+		defer mu.Unlock()
+		var sum ps.Counters
+		for _, r := range routers {
+			c := r.Counters()
+			sum.DensePulls += c.DensePulls
+			sum.DensePushes += c.DensePushes
+			sum.RowPulls += c.RowPulls
+			sum.RowPushes += c.RowPushes
+			sum.FloatsMoved += c.FloatsMoved
+		}
+		return sum
+	}), ds, opts)
+	if o.faults != "" {
+		var injected int64
+		for _, inj := range injectors {
+			for _, n := range inj.Counts() {
+				injected += n
+			}
+		}
+		log.Printf("chaos: %d faults injected", injected)
+	}
+	return res
+}
+
+// counterFunc adapts a closure to the Counters source TrainWithStore
+// reads the final traffic tallies from.
+type counterFunc func() ps.Counters
+
+func (f counterFunc) Counters() ps.Counters { return f() }
 
 // trainChaos runs the distributed trainer against a loopback RPC
 // parameter server with per-worker fault injection — the CI chaos smoke

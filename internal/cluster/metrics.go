@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"strconv"
+	"sync"
+
+	"mamdr/internal/ps"
+	"mamdr/internal/telemetry"
+)
+
+// Metrics mirrors the router's scatter-gather activity into a telemetry
+// registry as per-shard time series: pull/push latency, floats moved,
+// call failures and replica failovers per shard, plus the partition
+// plan's static load figures (per-shard element counts and the
+// imbalance gauge). Like ps.Metrics, every method is nil-receiver-safe,
+// so the uninstrumented path costs nothing.
+type Metrics struct {
+	reg *telemetry.Registry
+
+	replicaDeaths *telemetry.Counter
+	imbalance     *telemetry.Gauge
+
+	mu        sync.Mutex
+	latency   map[string]*telemetry.Histogram // (shard, op) -> seconds
+	floats    map[string]*telemetry.Counter   // (shard, op) -> floats moved
+	failures  map[string]*telemetry.Counter   // shard -> failed replica calls
+	failovers map[string]*telemetry.Counter   // shard -> reads retried on another replica
+}
+
+// NewMetrics registers the cluster series in reg. A nil registry yields
+// a nil (disabled) Metrics.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		reg: reg,
+		replicaDeaths: reg.Counter("mamdr_cluster_replica_deaths_total",
+			"Shard replicas the router condemned after a failed call (no longer served reads or writes)."),
+		imbalance: reg.Gauge("mamdr_cluster_imbalance_ratio",
+			"Largest shard's element count over the mean (1.0 = perfectly balanced partition plan)."),
+		latency:   map[string]*telemetry.Histogram{},
+		floats:    map[string]*telemetry.Counter{},
+		failures:  map[string]*telemetry.Counter{},
+		failovers: map[string]*telemetry.Counter{},
+	}
+}
+
+// BindPlan exports the partition plan's static load shape: the
+// imbalance gauge and one element-count gauge per shard.
+func (m *Metrics) BindPlan(p ps.Plan) {
+	if m == nil {
+		return
+	}
+	m.imbalance.Set(p.Imbalance())
+	for sh := 0; sh < p.NumShards; sh++ {
+		m.reg.Gauge("mamdr_cluster_shard_elements",
+			"Float64 elements owned by each parameter-server shard under the partition plan.",
+			telemetry.L("shard", strconv.Itoa(sh))).Set(float64(p.Elements(sh)))
+	}
+}
+
+// observeShardOp records one completed shard call: its latency and the
+// floats it moved, labeled by shard and operation (pull_dense,
+// pull_rows, push_delta).
+func (m *Metrics) observeShardOp(sh int, op string, seconds float64, floats int) {
+	if m == nil {
+		return
+	}
+	shard := strconv.Itoa(sh)
+	key := shard + "/" + op
+	m.mu.Lock()
+	h, ok := m.latency[key]
+	if !ok {
+		h = m.reg.Histogram("mamdr_cluster_shard_op_seconds",
+			"Latency of scatter-gather calls to each parameter-server shard, by operation.",
+			telemetry.ExponentialBuckets(1e-5, 2, 16),
+			telemetry.L("shard", shard), telemetry.L("op", op))
+		m.latency[key] = h
+	}
+	c, ok := m.floats[key]
+	if !ok {
+		c = m.reg.Counter("mamdr_cluster_shard_floats_total",
+			"Float64 values moved to or from each parameter-server shard, by operation.",
+			telemetry.L("shard", shard), telemetry.L("op", op))
+		m.floats[key] = c
+	}
+	m.mu.Unlock()
+	h.Observe(seconds)
+	c.Add(int64(floats))
+}
+
+// observeFailure counts one failed call to a replica of shard sh.
+func (m *Metrics) observeFailure(sh int) {
+	if m == nil {
+		return
+	}
+	shard := strconv.Itoa(sh)
+	m.mu.Lock()
+	c, ok := m.failures[shard]
+	if !ok {
+		c = m.reg.Counter("mamdr_cluster_shard_failures_total",
+			"Failed calls to a shard replica (each condemns that replica).",
+			telemetry.L("shard", shard))
+		m.failures[shard] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+	m.replicaDeaths.Inc()
+}
+
+// observeFailover counts one read that had to move past a dead or
+// failing replica of shard sh.
+func (m *Metrics) observeFailover(sh int) {
+	if m == nil {
+		return
+	}
+	shard := strconv.Itoa(sh)
+	m.mu.Lock()
+	c, ok := m.failovers[shard]
+	if !ok {
+		c = m.reg.Counter("mamdr_cluster_failovers_total",
+			"Reads served by a backup replica after the shard's primary failed.",
+			telemetry.L("shard", shard))
+		m.failovers[shard] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"net"
+	"strings"
 	"testing"
 
 	"mamdr/internal/autograd"
@@ -75,6 +76,49 @@ func TestLayoutValidateCatchesUnreachableTensors(t *testing.T) {
 	dbl.Field = []int{2}
 	if err := dbl.Validate(-1); err == nil {
 		t.Fatal("dense tensor with a field passed validation")
+	}
+}
+
+// TestLayoutValidateCatchesMalformedLayouts covers the structural error
+// paths: slices of mismatched length (a hand-built layout that skipped a
+// field) and degenerate tensor shapes. Both would otherwise surface as
+// index panics deep inside sync or partitioning code.
+func TestLayoutValidateCatchesMalformedLayouts(t *testing.T) {
+	params := []*autograd.Tensor{
+		autograd.ParamZeros(100, 4),
+		autograd.ParamZeros(8, 8),
+	}
+	good := LayoutOf(params, map[int]int{0: 0})
+	if err := good.Validate(-1); err != nil {
+		t.Fatalf("valid layout rejected: %v", err)
+	}
+
+	short := good
+	short.Field = good.Field[:1]
+	if err := short.Validate(-1); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Fatalf("short Field slice not rejected as misaligned: %v", err)
+	}
+
+	short = good
+	short.Embedding = append(append([]bool(nil), good.Embedding...), true)
+	if err := short.Validate(-1); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Fatalf("long Embedding slice not rejected as misaligned: %v", err)
+	}
+
+	short = good
+	short.Cols = good.Cols[:1]
+	if err := short.Validate(-1); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Fatalf("short Cols slice not rejected as misaligned: %v", err)
+	}
+
+	for _, shape := range []struct{ rows, cols int }{{0, 4}, {4, 0}, {-1, 4}} {
+		degenerate := Layout{
+			Rows: []int{shape.rows}, Cols: []int{shape.cols},
+			Embedding: []bool{false}, Field: []int{-1},
+		}
+		if err := degenerate.Validate(-1); err == nil || !strings.Contains(err.Error(), "degenerate") {
+			t.Fatalf("%dx%d tensor not rejected as degenerate: %v", shape.rows, shape.cols, err)
+		}
 	}
 }
 

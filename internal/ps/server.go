@@ -13,6 +13,7 @@ package ps
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -318,7 +319,12 @@ func (s *Server) PushDelta(ctx context.Context, d Delta) {
 		atomic.AddInt64(&s.counters.densePushes, 1)
 		s.metrics.observeDensePush()
 	}
-	for t, delta := range d.Dense {
+	// Tensors are stepped in ascending index order, not map order: an
+	// outer optimizer with cross-tensor state (Adam's shared step
+	// counter) must see the same sequence every run for pushes to be
+	// reproducible.
+	for _, t := range sortedKeys(d.Dense) {
+		delta := d.Dense[t]
 		sh := s.shards[s.shardOf[t]]
 		sh.mu.Lock()
 		tensor := sh.data[t]
@@ -330,7 +336,8 @@ func (s *Server) PushDelta(ctx context.Context, d Delta) {
 		atomic.AddInt64(&s.counters.floats, int64(len(delta)))
 		s.metrics.observeDenseFloats(len(delta))
 	}
-	for t, rows := range d.Rows {
+	for _, t := range sortedKeys(d.Rows) {
+		rows := d.Rows[t]
 		cols := s.layout.Cols[t]
 		sh := s.shards[s.shardOf[t]]
 		sh.mu.Lock()
@@ -346,6 +353,17 @@ func (s *Server) PushDelta(ctx context.Context, d Delta) {
 		atomic.AddInt64(&s.counters.floats, int64(len(rows)*cols))
 		s.metrics.observeRowPush(t, len(rows), len(rows)*cols)
 	}
+}
+
+// sortedKeys returns a map's integer keys in ascending order, for
+// deterministic iteration over per-tensor delta maps.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // Counters implements Store.

@@ -459,10 +459,19 @@ func live(sup []*supervisedWorker) int {
 	return n
 }
 
+// Snapshotter is the optional fast path for reading a store's full
+// state without going through the counted pull operations: the
+// in-process Server and the cluster router both implement it, so
+// snapshotting for evaluation never skews the synchronization-overhead
+// counters.
+type Snapshotter interface {
+	Snapshot() paramvec.Vector
+}
+
 // storeSnapshot reads the full parameter state (dense + embeddings) from
 // the store, aligned with the serving model's parameters.
 func storeSnapshot(store Store, serving models.Model) paramvec.Vector {
-	if s, ok := store.(*Server); ok {
+	if s, ok := store.(Snapshotter); ok {
 		return s.Snapshot()
 	}
 	ctx := context.Background()

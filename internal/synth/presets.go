@@ -2,7 +2,9 @@ package synth
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 )
 
 // The per-domain percentages and CTR ratios below are copied from the
@@ -176,6 +178,53 @@ func TaobaoOnline(numDomains, totalSamples int, seed int64) Config {
 		FixedFeatures:    true,
 		Domains:          specs,
 	}
+}
+
+// WithZipfImbalance redistributes cfg's total sample budget across its
+// domains by a Zipf law with exponent s: domains are ranked by their
+// current size (largest first) and rank r receives weight 1/r^s, so
+// raising s concentrates data in the head domains while the tail
+// shrinks toward the 24-sample floor. s <= 0 returns cfg unchanged.
+//
+// The skew knob exists because partition-plan balancing and the
+// shard-scaling experiments need datasets whose embedding traffic is
+// dominated by a few hot domains. With s ≈ 1.15 a uniform 6-domain
+// preset lands near the real Amazon-6 head/tail ratio of Table II
+// (largest/smallest ≈ 31.8%/4.1% ≈ 7.8 ≈ 6^1.15).
+func WithZipfImbalance(cfg Config, s float64) Config {
+	if s <= 0 {
+		return cfg
+	}
+	total := 0
+	for _, d := range cfg.Domains {
+		total += d.Samples
+	}
+	// Rank by current size, largest first; ties keep the preset order so
+	// the reassignment is deterministic.
+	rank := make([]int, len(cfg.Domains))
+	for i := range rank {
+		rank[i] = i
+	}
+	sort.SliceStable(rank, func(a, b int) bool {
+		return cfg.Domains[rank[a]].Samples > cfg.Domains[rank[b]].Samples
+	})
+	var wsum float64
+	weights := make([]float64, len(rank))
+	for r := range rank {
+		weights[r] = 1 / math.Pow(float64(r+1), s)
+		wsum += weights[r]
+	}
+	out := cfg
+	out.Name = fmt.Sprintf("%s-zipf%.2f", cfg.Name, s)
+	out.Domains = append([]DomainSpec(nil), cfg.Domains...)
+	for r, i := range rank {
+		n := int(float64(total) * weights[r] / wsum)
+		if n < 24 {
+			n = 24
+		}
+		out.Domains[i].Samples = n
+	}
+	return out
 }
 
 // Presets maps dataset names to their builders at a default experiment

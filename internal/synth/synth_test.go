@@ -234,3 +234,72 @@ func TestScaleInvarianceOfProfile(t *testing.T) {
 		}
 	}
 }
+
+// TestWithZipfImbalance: the skew knob re-ranks the budget by 1/rank^s
+// — sizes become monotone in rank, the head/tail ratio tracks the
+// exponent, the total budget is roughly preserved, and s <= 0 is a
+// no-op.
+func TestWithZipfImbalance(t *testing.T) {
+	base := Amazon6(12000, 7)
+
+	if got := WithZipfImbalance(base, 0); got.Name != base.Name {
+		t.Fatal("s=0 should return the config unchanged")
+	}
+
+	skewed := WithZipfImbalance(base, 1.15)
+	if len(skewed.Domains) != len(base.Domains) {
+		t.Fatalf("domain count changed: %d vs %d", len(skewed.Domains), len(base.Domains))
+	}
+	baseTotal, skewTotal := 0, 0
+	for i := range base.Domains {
+		baseTotal += base.Domains[i].Samples
+		skewTotal += skewed.Domains[i].Samples
+		if skewed.Domains[i].Name != base.Domains[i].Name || skewed.Domains[i].CTRRatio != base.Domains[i].CTRRatio {
+			t.Fatalf("domain %d identity changed: %+v vs %+v", i, skewed.Domains[i], base.Domains[i])
+		}
+	}
+	if ratio := float64(skewTotal) / float64(baseTotal); ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("budget drifted: %d -> %d", baseTotal, skewTotal)
+	}
+
+	// Head/tail ratio ~ n^s for n domains: 6^1.15 ~ 7.8, the real
+	// Amazon-6 ratio from Table II.
+	max, min := 0, 1<<31
+	for _, d := range skewed.Domains {
+		if d.Samples > max {
+			max = d.Samples
+		}
+		if d.Samples < min {
+			min = d.Samples
+		}
+	}
+	if ht := float64(max) / float64(min); ht < 6 || ht > 10 {
+		t.Fatalf("head/tail ratio %.2f, want ~7.8 for s=1.15 over 6 domains", ht)
+	}
+
+	// The largest base domain keeps rank 1 after re-skewing, and the
+	// generated dataset still validates.
+	baseMaxIdx, skewMaxIdx := 0, 0
+	for i := range base.Domains {
+		if base.Domains[i].Samples > base.Domains[baseMaxIdx].Samples {
+			baseMaxIdx = i
+		}
+		if skewed.Domains[i].Samples > skewed.Domains[skewMaxIdx].Samples {
+			skewMaxIdx = i
+		}
+	}
+	if baseMaxIdx != skewMaxIdx {
+		t.Fatalf("head domain moved: base %d, skewed %d", baseMaxIdx, skewMaxIdx)
+	}
+	if err := Generate(skewed).Validate(); err != nil {
+		t.Fatalf("skewed dataset invalid: %v", err)
+	}
+
+	// Determinism: same inputs, same assignment.
+	again := WithZipfImbalance(base, 1.15)
+	for i := range skewed.Domains {
+		if again.Domains[i].Samples != skewed.Domains[i].Samples {
+			t.Fatal("re-skewing is not deterministic")
+		}
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-serve bench-telemetry smoke-trace smoke-chaos smoke-cluster ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster ci check
 
 all: check
 
@@ -71,6 +71,25 @@ race:
 
 bench-serve:
 	$(GO) test ./internal/serve -run xxx -bench ServeThroughput -benchtime 2s
+
+# The kernel benchmarks guarded by CI's bench-guard job.
+BENCH_GUARD = BenchmarkMatMul64x64$$|BenchmarkMatMulBackward64x64$$|BenchmarkFMSecondOrder$$|BenchmarkTrainStepArena$$
+BENCH_BASELINE = internal/autograd/testdata/bench_baseline.txt
+
+# Regenerate the committed baseline after an intentional kernel change.
+bench-baseline:
+	$(GO) test ./internal/autograd -run '^$$' -bench '$(BENCH_GUARD)' \
+		-benchtime=300ms -count=6 | tee $(BENCH_BASELINE)
+
+# The CI bench-guard job locally: re-run the guarded benchmarks and
+# fail if any median regressed >20% vs the committed baseline. If
+# benchstat is installed (go install golang.org/x/perf/cmd/benchstat@latest)
+# it prints the full delta table first.
+bench-guard:
+	$(GO) test ./internal/autograd -run '^$$' -bench '$(BENCH_GUARD)' \
+		-benchtime=300ms -count=6 | tee /tmp/bench_current.txt
+	-command -v benchstat >/dev/null && benchstat $(BENCH_BASELINE) /tmp/bench_current.txt
+	python3 scripts/bench_guard.py $(BENCH_BASELINE) /tmp/bench_current.txt
 
 # Instrumented-vs-bare cost of the telemetry subsystem on the training
 # loop and the serving request path (budget: <5%).

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"mamdr"
+	"mamdr/internal/autograd/kernels"
 	"mamdr/internal/core"
 	"mamdr/internal/models"
 	"mamdr/internal/serve"
@@ -35,16 +36,17 @@ func main() {
 	log.SetPrefix("mamdr-serve: ")
 
 	var (
-		preset     = flag.String("preset", "taobao-10", "benchmark preset to train on")
-		samples    = flag.Int("samples", 8000, "dataset scale")
-		model      = flag.String("model", "mlp", "model structure")
-		epochs     = flag.Int("epochs", 10, "training epochs before serving")
-		seed       = flag.Int64("seed", 1, "random seed")
-		addr       = flag.String("addr", ":8080", "listen address")
-		replicas   = flag.Int("replicas", 0, "model-replica pool size (0 = GOMAXPROCS)")
-		timeout      = flag.Duration("timeout", 5*time.Second, "per-request replica-acquisition timeout")
-		checkpoint   = flag.String("checkpoint", "", "load a state saved with core.State.Save instead of training")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+		preset        = flag.String("preset", "taobao-10", "benchmark preset to train on")
+		samples       = flag.Int("samples", 8000, "dataset scale")
+		model         = flag.String("model", "mlp", "model structure")
+		epochs        = flag.Int("epochs", 10, "training epochs before serving")
+		seed          = flag.Int64("seed", 1, "random seed")
+		addr          = flag.String("addr", ":8080", "listen address")
+		replicas      = flag.Int("replicas", 0, "model-replica pool size (0 = GOMAXPROCS)")
+		kernelThreads = flag.Int("kernel-threads", 1, "goroutines per math kernel (0 = GOMAXPROCS; serving defaults to 1 so concurrency comes from the replica pool, not intra-op fan-out)")
+		timeout       = flag.Duration("timeout", 5*time.Second, "per-request replica-acquisition timeout")
+		checkpoint    = flag.String("checkpoint", "", "load a state saved with core.State.Save instead of training")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus /metrics and instrument the request path")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -56,6 +58,7 @@ func main() {
 		withTrace   = flag.Bool("tracing", true, "enable request tracing and /debug/trace capture-on-demand")
 	)
 	flag.Parse()
+	kernels.SetThreads(*kernelThreads)
 
 	ds, err := mamdr.GenerateDatasetErr(mamdr.DatasetSpec{Preset: *preset, TotalSamples: *samples, Seed: *seed})
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mamdr"
+	"mamdr/internal/autograd/kernels"
 	"mamdr/internal/cluster"
 	"mamdr/internal/data"
 	"mamdr/internal/faultinject"
@@ -56,6 +57,8 @@ func main() {
 		embDim   = flag.Int("emb", 8, "embedding dimension")
 		seed     = flag.Int64("seed", 1, "random seed")
 
+		kernelThreads = flag.Int("kernel-threads", 0, "goroutines per math kernel (0 = GOMAXPROCS; results are bit-identical at any setting)")
+
 		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address during training (e.g. :9090)")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep /metrics up this long after training (for a final scrape)")
 		eventsPath    = flag.String("events", "", "append one JSONL event per epoch to this file")
@@ -79,6 +82,7 @@ func main() {
 		resume          = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run under the same seed)")
 	)
 	flag.Parse()
+	kernels.SetThreads(*kernelThreads)
 
 	var (
 		ds  *mamdr.Dataset

@@ -75,3 +75,71 @@ func BenchmarkFMSecondOrder(b *testing.B) {
 		Sum(FMSecondOrder(x, 6, 16)).Backward()
 	}
 }
+
+func BenchmarkMatMul256x256(b *testing.B) {
+	x, y := benchTensors(256, 256)
+	xd, yd := x.Detach(), y.Detach()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(xd, yd).Release()
+	}
+}
+
+func BenchmarkDenseActFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := ParamRand(256, 64, 1, rng)
+	w := ParamXavier(64, 64, rng)
+	bias := ParamRand(1, 64, 0.5, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.ZeroGrad()
+		w.ZeroGrad()
+		bias.ZeroGrad()
+		loss := Sum(DenseAct(x, w, bias, ActReLU, 0.01))
+		loss.Backward()
+		loss.Release()
+	}
+}
+
+func BenchmarkDenseActComposed(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := ParamRand(256, 64, 1, rng)
+	w := ParamXavier(64, 64, rng)
+	bias := ParamRand(1, 64, 0.5, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.ZeroGrad()
+		w.ZeroGrad()
+		bias.ZeroGrad()
+		loss := Sum(ReLU(AddRowVector(MatMul(x, w), bias)))
+		loss.Backward()
+		loss.Release()
+	}
+}
+
+// BenchmarkTrainStepArena measures a full MLP-shaped step with Release
+// recycling op buffers — the steady state of the training hot loop,
+// where the arena should hold per-step allocations near zero.
+func BenchmarkTrainStepArena(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := ParamRand(128, 32, 1, rng).Detach()
+	w1 := ParamXavier(32, 64, rng)
+	b1 := ParamRand(1, 64, 0.5, rng)
+	w2 := ParamXavier(64, 1, rng)
+	b2 := ParamRand(1, 1, 0.5, rng)
+	labels := make([]float64, 128)
+	for i := range labels {
+		labels[i] = float64(rng.Intn(2))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, p := range []*Tensor{w1, b1, w2, b2} {
+			p.ZeroGrad()
+		}
+		h := DenseAct(x, w1, b1, ActReLU, 0.01)
+		logits := DenseAct(h, w2, b2, ActIdentity, 0)
+		loss := BCEWithLogits(logits, labels)
+		loss.Backward()
+		loss.Release()
+	}
+}

@@ -1,0 +1,183 @@
+package kernels
+
+// blocked is the default backend: the k (reduction) loop is split into
+// panels of kc rows of b so the panel stays cache-resident while the a
+// rows stream past, unrolled 4x to cut loop overhead, and the output
+// rows are partitioned across goroutines. Per output element the
+// reduction still runs ascending through a single accumulator, so
+// results are bit-identical to the naive backend at any thread count.
+type blocked struct{}
+
+// kc is the k-panel height: one panel of b is kc×n float64s, sized to
+// sit in L1/L2 for the layer widths used by the CTR models here.
+const kc = 128
+
+func (blocked) Name() string { return "blocked" }
+
+func (blocked) GemmAdd(dst, a, b []float64, m, k, n int) {
+	checkGemm(dst, a, b, m, k, n)
+	parallelRows(m, k*n, func(lo, hi int) {
+		gemmAddRange(dst, a, b, lo, hi, k, n)
+	})
+}
+
+// gemmAddRange accumulates dst rows [lo,hi) of dst += a·b. The p loop
+// is panel-blocked and 4x unrolled; every dst element receives its k
+// contributions in ascending p order through a single accumulator.
+func gemmAddRange(dst, a, b []float64, lo, hi, k, n int) {
+	for kb := 0; kb < k; kb += kc {
+		ke := kb + kc
+		if ke > k {
+			ke = k
+		}
+		for i := lo; i < hi; i++ {
+			ar := a[i*k : (i+1)*k]
+			or := dst[i*n : (i+1)*n]
+			p := kb
+			for ; p+4 <= ke; p += 4 {
+				a0, a1, a2, a3 := ar[p], ar[p+1], ar[p+2], ar[p+3]
+				b0 := b[p*n : (p+1)*n]
+				b1 := b[(p+1)*n : (p+2)*n]
+				b2 := b[(p+2)*n : (p+3)*n]
+				b3 := b[(p+3)*n : (p+4)*n]
+				for j := range or {
+					s := or[j]
+					s += a0 * b0[j]
+					s += a1 * b1[j]
+					s += a2 * b2[j]
+					s += a3 * b3[j]
+					or[j] = s
+				}
+			}
+			for ; p < ke; p++ {
+				av := ar[p]
+				br := b[p*n : (p+1)*n]
+				for j := range or {
+					or[j] += av * br[j]
+				}
+			}
+		}
+	}
+}
+
+func (blocked) GemmABtAdd(dst, a, b []float64, m, n, k int) {
+	checkGemm(dst, a, b, m, n, k) // dst m×k, a m×n, b k×n
+	parallelRows(m, n*k, func(lo, hi int) {
+		gemmABtAddRange(dst, a, b, lo, hi, n, k)
+	})
+}
+
+// gemmABtAddRange accumulates dst rows [lo,hi) of dst += a·bᵀ. Four
+// rows of b are dotted against one streaming row of a per pass; each
+// dot is a single accumulator running ascending in j.
+func gemmABtAddRange(dst, a, b []float64, lo, hi, n, k int) {
+	for i := lo; i < hi; i++ {
+		gr := a[i*n : (i+1)*n]
+		dr := dst[i*k : (i+1)*k]
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			b0 := b[p*n : (p+1)*n]
+			b1 := b[(p+1)*n : (p+2)*n]
+			b2 := b[(p+2)*n : (p+3)*n]
+			b3 := b[(p+3)*n : (p+4)*n]
+			var s0, s1, s2, s3 float64
+			for j, g := range gr {
+				s0 += g * b0[j]
+				s1 += g * b1[j]
+				s2 += g * b2[j]
+				s3 += g * b3[j]
+			}
+			dr[p] += s0
+			dr[p+1] += s1
+			dr[p+2] += s2
+			dr[p+3] += s3
+		}
+		for ; p < k; p++ {
+			br := b[p*n : (p+1)*n]
+			var s float64
+			for j, g := range gr {
+				s += g * br[j]
+			}
+			dr[p] += s
+		}
+	}
+}
+
+func (blocked) GemmAtBAdd(dst, a, g []float64, m, k, n int) {
+	checkGemmT(dst, a, g, m, k, n) // dst k×n, a m×k, g m×n
+	parallelRows(k, m*n, func(lo, hi int) {
+		gemmAtBAddRange(dst, a, g, lo, hi, m, k, n)
+	})
+}
+
+// gemmAtBAddRange accumulates dst rows [lo,hi) of dst += aᵀ·g, where
+// dst rows are indexed by a's column p. Contributions arrive in
+// ascending row order of a (the reduction axis), 4x unrolled with
+// sequential adds so the per-element order matches the naive loop.
+func gemmAtBAddRange(dst, a, g []float64, lo, hi, m, k, n int) {
+	for p := lo; p < hi; p++ {
+		dr := dst[p*n : (p+1)*n]
+		i := 0
+		for ; i+4 <= m; i += 4 {
+			a0 := a[i*k+p]
+			a1 := a[(i+1)*k+p]
+			a2 := a[(i+2)*k+p]
+			a3 := a[(i+3)*k+p]
+			g0 := g[i*n : (i+1)*n]
+			g1 := g[(i+1)*n : (i+2)*n]
+			g2 := g[(i+2)*n : (i+3)*n]
+			g3 := g[(i+3)*n : (i+4)*n]
+			for j := range dr {
+				s := dr[j]
+				s += a0 * g0[j]
+				s += a1 * g1[j]
+				s += a2 * g2[j]
+				s += a3 * g3[j]
+				dr[j] = s
+			}
+		}
+		for ; i < m; i++ {
+			av := a[i*k+p]
+			gi := g[i*n : (i+1)*n]
+			for j := range dr {
+				dr[j] += av * gi[j]
+			}
+		}
+	}
+}
+
+func (blocked) DenseForward(dst, x, w, bias []float64, m, k, n int, act Act, slope float64) {
+	checkGemm(dst, x, w, m, k, n)
+	if bias != nil && len(bias) != n {
+		panic("kernels: DenseForward bias length mismatch")
+	}
+	parallelRows(m, k*n+2*n, func(lo, hi int) {
+		gemmAddRange(dst, x, w, lo, hi, k, n)
+		biasActRange(dst, bias, lo, hi, n, act, slope)
+	})
+}
+
+// biasActRange applies dst[i] = act(dst[i] + bias) to rows [lo,hi).
+func biasActRange(dst, bias []float64, lo, hi, n int, act Act, slope float64) {
+	for i := lo; i < hi; i++ {
+		row := dst[i*n : (i+1)*n]
+		if bias != nil {
+			for j := range row {
+				row[j] += bias[j]
+			}
+		}
+		actInPlace(row, act, slope)
+	}
+}
+
+func checkGemm(dst, a, b []float64, m, k, n int) {
+	if len(dst) < m*n || len(a) < m*k || len(b) < k*n {
+		panic("kernels: gemm buffer shorter than its shape")
+	}
+}
+
+func checkGemmT(dst, a, g []float64, m, k, n int) {
+	if len(dst) < k*n || len(a) < m*k || len(g) < m*n {
+		panic("kernels: gemm buffer shorter than its shape")
+	}
+}

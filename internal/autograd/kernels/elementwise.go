@@ -1,0 +1,232 @@
+package kernels
+
+import "math"
+
+// Elementwise and reduction kernels shared by both backends. These are
+// memory-bound, so "vectorized" here means tight range loops with the
+// bounds checks hoisted and, for reductions, 4x unrolling that keeps a
+// single accumulator adding in ascending index order (sequential adds
+// through one register reassociate nothing, so results stay
+// bit-identical to the straight loop).
+
+// AddTo sets dst[i] = a[i] + b[i].
+func AddTo(dst, a, b []float64) {
+	b = b[:len(dst)]
+	for i, av := range a[:len(dst)] {
+		dst[i] = av + b[i]
+	}
+}
+
+// SubTo sets dst[i] = a[i] - b[i].
+func SubTo(dst, a, b []float64) {
+	b = b[:len(dst)]
+	for i, av := range a[:len(dst)] {
+		dst[i] = av - b[i]
+	}
+}
+
+// MulTo sets dst[i] = a[i] * b[i].
+func MulTo(dst, a, b []float64) {
+	b = b[:len(dst)]
+	for i, av := range a[:len(dst)] {
+		dst[i] = av * b[i]
+	}
+}
+
+// ScaleTo sets dst[i] = a[i] * s.
+func ScaleTo(dst, a []float64, s float64) {
+	for i, av := range a[:len(dst)] {
+		dst[i] = av * s
+	}
+}
+
+// AddScalarTo sets dst[i] = a[i] + s.
+func AddScalarTo(dst, a []float64, s float64) {
+	for i, av := range a[:len(dst)] {
+		dst[i] = av + s
+	}
+}
+
+// AccumAdd accumulates dst[i] += g[i].
+func AccumAdd(dst, g []float64) {
+	for i, gv := range g[:len(dst)] {
+		dst[i] += gv
+	}
+}
+
+// AccumSub accumulates dst[i] -= g[i].
+func AccumSub(dst, g []float64) {
+	for i, gv := range g[:len(dst)] {
+		dst[i] -= gv
+	}
+}
+
+// AxpyAdd accumulates dst[i] += g[i] * s.
+func AxpyAdd(dst, g []float64, s float64) {
+	for i, gv := range g[:len(dst)] {
+		dst[i] += gv * s
+	}
+}
+
+// MulAdd accumulates dst[i] += g[i] * b[i].
+func MulAdd(dst, g, b []float64) {
+	b = b[:len(dst)]
+	for i, gv := range g[:len(dst)] {
+		dst[i] += gv * b[i]
+	}
+}
+
+// Sum reduces a to a single value, accumulating in ascending order.
+func Sum(a []float64) float64 {
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i]
+		s += a[i+1]
+		s += a[i+2]
+		s += a[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i]
+	}
+	return s
+}
+
+// Dot reduces <a, b> with a single accumulator in ascending order.
+func Dot(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// ColSumAdd accumulates the column sums of the m×n matrix a into dst
+// (len n), row by row so each dst[j] sees ascending row order.
+func ColSumAdd(dst, a []float64, m, n int) {
+	dst = dst[:n]
+	for i := 0; i < m; i++ {
+		row := a[i*n : (i+1)*n]
+		for j := range dst {
+			dst[j] += row[j]
+		}
+	}
+}
+
+// SigmoidTo sets dst[i] = 1/(1+exp(-a[i])).
+func SigmoidTo(dst, a []float64) {
+	for i, v := range a[:len(dst)] {
+		dst[i] = 1 / (1 + math.Exp(-v))
+	}
+}
+
+// ReLUTo sets dst[i] = a[i] when a[i] > 0 and 0 otherwise (dst need
+// not be pre-zeroed).
+func ReLUTo(dst, a []float64) {
+	for i, v := range a[:len(dst)] {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// LeakyReLUTo sets dst[i] = a[i] when a[i] > 0 and slope*a[i] otherwise.
+func LeakyReLUTo(dst, a []float64, slope float64) {
+	for i, v := range a[:len(dst)] {
+		if v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = slope * v
+		}
+	}
+}
+
+// TanhTo sets dst[i] = tanh(a[i]).
+func TanhTo(dst, a []float64) {
+	for i, v := range a[:len(dst)] {
+		dst[i] = math.Tanh(v)
+	}
+}
+
+// ExpTo sets dst[i] = exp(a[i]).
+func ExpTo(dst, a []float64) {
+	for i, v := range a[:len(dst)] {
+		dst[i] = math.Exp(v)
+	}
+}
+
+// SquareTo sets dst[i] = a[i]*a[i].
+func SquareTo(dst, a []float64) {
+	for i, v := range a[:len(dst)] {
+		dst[i] = v * v
+	}
+}
+
+// actInPlace applies the activation to row in place, with exactly the
+// same expressions as the standalone autograd activation ops so the
+// fused dense forward is bit-identical to the composed one.
+func actInPlace(row []float64, act Act, slope float64) {
+	switch act {
+	case ActIdentity:
+	case ActReLU:
+		ReLUTo(row, row)
+	case ActSigmoid:
+		SigmoidTo(row, row)
+	case ActTanh:
+		TanhTo(row, row)
+	case ActLeakyReLU:
+		LeakyReLUTo(row, row, slope)
+	default:
+		panic("kernels: unknown activation")
+	}
+}
+
+// ActGradTo sets dst[i] = g[i] * act' where out is the activation's
+// *output* (every supported activation's derivative is
+// recoverable from its output: the ReLU family preserves sign, and
+// sigmoid/tanh derivatives are functions of the output). Expression
+// order matches the standalone activation backward ops bit for bit.
+func ActGradTo(dst, out, g []float64, act Act, slope float64) {
+	out = out[:len(dst)]
+	g = g[:len(dst)]
+	switch act {
+	case ActIdentity:
+		copy(dst, g)
+	case ActReLU:
+		for i, s := range out {
+			if s > 0 {
+				dst[i] = g[i]
+			} else {
+				dst[i] = 0
+			}
+		}
+	case ActSigmoid:
+		for i, s := range out {
+			dst[i] = g[i] * s * (1 - s)
+		}
+	case ActTanh:
+		for i, s := range out {
+			dst[i] = g[i] * (1 - s*s)
+		}
+	case ActLeakyReLU:
+		for i, s := range out {
+			if s > 0 {
+				dst[i] = g[i]
+			} else {
+				dst[i] = g[i] * slope
+			}
+		}
+	default:
+		panic("kernels: unknown activation")
+	}
+}

@@ -1,0 +1,154 @@
+// Package kernels provides the dense float64 math kernels behind the
+// autograd tensor operations: cache-blocked, goroutine-parallel GEMM
+// (forward and both backward products), a fused dense-layer forward
+// (matmul + bias + activation in one pass), vectorized elementwise and
+// reduction loops, and a sync.Pool buffer arena that removes per-op
+// allocations from the training and serving hot loops.
+//
+// # Determinism contract
+//
+// Every backend must produce results bit-identical to straight-line
+// evaluation: each output element is accumulated in exactly the order
+// of the textbook triple loop (ascending reduction index, a single
+// accumulator per element). Blocking and unrolling may regroup which
+// elements are computed together, but never the addition order within
+// one element; parallelism partitions output elements across
+// goroutines, never the reduction of a single element. Consequently
+// results do not depend on SetThreads, GOMAXPROCS, or the backend
+// chosen, and the distributed bit-identity suites hold unchanged.
+// (One caveat: when several NaNs combine, the propagated *payload* is
+// chosen by the hardware per instruction operand order, which the
+// compiler picks per expression — NaN is deterministic as a class,
+// not as a bit pattern. Finite values and infinities are exact.)
+//
+// Kernels never skip zero operands: IEEE-754 says 0*Inf = NaN, so a
+// "harmless" zero fast-path silently masks non-finite values from the
+// loss and from the anomaly flight recorder. Non-finite inputs must
+// poison the output, exactly as straight-line evaluation would.
+package kernels
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Act selects the activation fused into DenseForward.
+type Act int
+
+// Fused activation kinds. ActLeakyReLU uses the slope passed alongside.
+const (
+	ActIdentity Act = iota
+	ActReLU
+	ActSigmoid
+	ActTanh
+	ActLeakyReLU
+)
+
+// Backend implements the dense float64 kernels. All matrices are
+// row-major. Every product accumulates into dst (dst += ...), which is
+// both the overwrite case (pass a zeroed dst — the arena's Get returns
+// zeroed buffers) and the gradient-accumulation case. Accumulating
+// into zero rather than overwriting keeps even the sign of zero
+// bit-identical to straight-line evaluation (0 + -0 = +0).
+type Backend interface {
+	// Name identifies the backend ("blocked", "naive").
+	Name() string
+	// GemmAdd computes dst += a·b for a (m×k) and b (k×n).
+	GemmAdd(dst, a, b []float64, m, k, n int)
+	// GemmABtAdd computes dst += a·bᵀ for a (m×n) and b (k×n),
+	// producing m×k. This is the dA += dOut·Bᵀ backward product.
+	GemmABtAdd(dst, a, b []float64, m, n, k int)
+	// GemmAtBAdd computes dst += aᵀ·g for a (m×k) and g (m×n),
+	// producing k×n. This is the dB += Aᵀ·dOut backward product.
+	GemmAtBAdd(dst, a, g []float64, m, k, n int)
+	// DenseForward computes dst += x·w, then dst = act(dst + bias),
+	// for x (m×k), w (k×n), and bias (len n, nil for no bias) in one
+	// fused pass over a zeroed dst. slope is the LeakyReLU slope,
+	// ignored by other activations.
+	DenseForward(dst, x, w, bias []float64, m, k, n int, act Act, slope float64)
+}
+
+// Blocked is the default backend: k-panel blocked, 4x-unrolled,
+// row-parallel kernels. Naive is the straight-line reference retained
+// for differential testing.
+var (
+	Blocked Backend = blocked{}
+	Naive   Backend = naive{}
+)
+
+// active is the backend used by the autograd ops.
+var active atomic.Pointer[Backend]
+
+// threads caps kernel parallelism; 0 means GOMAXPROCS.
+var threads atomic.Int64
+
+func init() {
+	active.Store(&Blocked)
+}
+
+// Default returns the backend the autograd ops dispatch to.
+func Default() Backend { return *active.Load() }
+
+// Use installs b as the dispatch backend and returns the previous one.
+// Results are bit-identical across backends; only speed changes.
+func Use(b Backend) Backend {
+	prev := *active.Load()
+	active.Store(&b)
+	return prev
+}
+
+// SetThreads caps the goroutines a single kernel may fan out to.
+// n <= 0 restores the default (GOMAXPROCS at call time). Thread count
+// never changes results, only wall-clock.
+func SetThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	threads.Store(int64(n))
+}
+
+// Threads reports the current parallelism cap.
+func Threads() int {
+	if n := int(threads.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelGrain is the minimum per-goroutine multiply-add count worth
+// a goroutine spawn (~1µs of float64 FMAs); below it kernels run
+// serially on the calling goroutine.
+const parallelGrain = 16384
+
+// parallelRows partitions [0, rows) into contiguous chunks and runs
+// fn(lo, hi) for each, fanning out to at most Threads() goroutines.
+// work is the multiply-add count per row. Each output element lives in
+// exactly one chunk, so the partition never affects results.
+func parallelRows(rows, work int, fn func(lo, hi int)) {
+	nw := Threads()
+	if nw > rows {
+		nw = rows
+	}
+	if nw <= 1 || rows*work < 2*parallelGrain {
+		fn(0, rows)
+		return
+	}
+	if maxChunks := rows * work / parallelGrain; nw > maxChunks {
+		nw = maxChunks
+	}
+	chunk := (rows + nw - 1) / nw
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

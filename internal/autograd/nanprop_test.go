@@ -1,0 +1,57 @@
+package autograd
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMatMulPropagatesNonFinite is the regression test for the
+// zero-skip bug: MatMul's old `av == 0` fast path skipped multiplying
+// against rows of b containing Inf/NaN, silently masking poisoned
+// parameters from the loss (IEEE-754: 0×Inf = NaN). On the seed code
+// this test fails with a finite output; after the kernel rewrite the
+// NaN must reach the output.
+func TestMatMulPropagatesNonFinite(t *testing.T) {
+	// a's only nonzero lines up with b's finite row, so the poisoned
+	// Inf row of b is touched *only* through the 0×Inf product.
+	a := New(1, 2, []float64{0, 1})
+	b := New(2, 1, []float64{math.Inf(1), 5})
+	out := MatMul(a, b)
+	if !math.IsNaN(out.Data[0]) {
+		t.Fatalf("MatMul([0 1], [Inf 5]ᵀ) = %g, want NaN: the zero-skip is masking the Inf row", out.Data[0])
+	}
+
+	nan := New(2, 1, []float64{math.NaN(), 5})
+	if out := MatMul(a, nan); !math.IsNaN(out.Data[0]) {
+		t.Fatalf("MatMul over a NaN row = %g, want NaN", out.Data[0])
+	}
+}
+
+// TestMatMulBackwardPropagatesNonFinite covers the dB-side zero-skip
+// (`av == 0` in the Aᵀ·dOut product): a zero activation must not hide
+// a non-finite upstream gradient from the weight gradient.
+func TestMatMulBackwardPropagatesNonFinite(t *testing.T) {
+	a := New(1, 2, []float64{0, 1})
+	w := Param(2, 1, []float64{2, 3})
+	// Scale the matmul output by +Inf so dOut at the product is +Inf;
+	// dW row 0 is then 0×Inf = NaN, which the seed code skipped.
+	loss := Sum(Scale(MatMul(a, w), math.Inf(1)))
+	loss.Backward()
+	if !math.IsNaN(w.Grad[0]) {
+		t.Fatalf("dW[0] = %g, want NaN: dB zero-skip is masking the Inf gradient", w.Grad[0])
+	}
+	if !math.IsInf(w.Grad[1], 1) {
+		t.Fatalf("dW[1] = %g, want +Inf", w.Grad[1])
+	}
+}
+
+// TestMeanOfEmptyTensorPanics pins the Mean precondition: a zero-size
+// tensor used to divide by zero and silently return ±Inf/NaN.
+func TestMeanOfEmptyTensorPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Mean of a 0x3 tensor did not panic")
+		}
+	}()
+	Mean(Zeros(0, 3))
+}

@@ -1,28 +1,26 @@
 package autograd
 
-import "fmt"
+import (
+	"fmt"
+
+	"mamdr/internal/autograd/kernels"
+)
 
 // Add returns the elementwise sum a + b. Shapes must match.
 func Add(a, b *Tensor) *Tensor {
 	assertSameShape("Add", a, b)
-	data := make([]float64, len(a.Data))
-	for i := range data {
-		data[i] = a.Data[i] + b.Data[i]
-	}
+	data := alloc(len(a.Data))
+	kernels.AddTo(data, a.Data, b.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a, b)
-	if out.backward == nil && out.parents == nil {
+	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
 		if a.Grad != nil {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			kernels.AccumAdd(a.Grad, out.Grad)
 		}
 		if b.Grad != nil {
-			for i, g := range out.Grad {
-				b.Grad[i] += g
-			}
+			kernels.AccumAdd(b.Grad, out.Grad)
 		}
 	}
 	return out
@@ -31,24 +29,18 @@ func Add(a, b *Tensor) *Tensor {
 // Sub returns the elementwise difference a - b. Shapes must match.
 func Sub(a, b *Tensor) *Tensor {
 	assertSameShape("Sub", a, b)
-	data := make([]float64, len(a.Data))
-	for i := range data {
-		data[i] = a.Data[i] - b.Data[i]
-	}
+	data := alloc(len(a.Data))
+	kernels.SubTo(data, a.Data, b.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a, b)
 	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
 		if a.Grad != nil {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			kernels.AccumAdd(a.Grad, out.Grad)
 		}
 		if b.Grad != nil {
-			for i, g := range out.Grad {
-				b.Grad[i] -= g
-			}
+			kernels.AccumSub(b.Grad, out.Grad)
 		}
 	}
 	return out
@@ -57,24 +49,18 @@ func Sub(a, b *Tensor) *Tensor {
 // Mul returns the elementwise (Hadamard) product a * b. Shapes must match.
 func Mul(a, b *Tensor) *Tensor {
 	assertSameShape("Mul", a, b)
-	data := make([]float64, len(a.Data))
-	for i := range data {
-		data[i] = a.Data[i] * b.Data[i]
-	}
+	data := alloc(len(a.Data))
+	kernels.MulTo(data, a.Data, b.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a, b)
 	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
 		if a.Grad != nil {
-			for i, g := range out.Grad {
-				a.Grad[i] += g * b.Data[i]
-			}
+			kernels.MulAdd(a.Grad, out.Grad, b.Data)
 		}
 		if b.Grad != nil {
-			for i, g := range out.Grad {
-				b.Grad[i] += g * a.Data[i]
-			}
+			kernels.MulAdd(b.Grad, out.Grad, a.Data)
 		}
 	}
 	return out
@@ -82,19 +68,15 @@ func Mul(a, b *Tensor) *Tensor {
 
 // Scale returns s * a for a scalar constant s.
 func Scale(a *Tensor, s float64) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i := range data {
-		data[i] = a.Data[i] * s
-	}
+	data := alloc(len(a.Data))
+	kernels.ScaleTo(data, a.Data, s)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
 		if a.Grad != nil {
-			for i, g := range out.Grad {
-				a.Grad[i] += g * s
-			}
+			kernels.AxpyAdd(a.Grad, out.Grad, s)
 		}
 	}
 	return out
@@ -102,81 +84,47 @@ func Scale(a *Tensor, s float64) *Tensor {
 
 // AddScalar returns a + s elementwise for a scalar constant s.
 func AddScalar(a *Tensor, s float64) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i := range data {
-		data[i] = a.Data[i] + s
-	}
+	data := alloc(len(a.Data))
+	kernels.AddScalarTo(data, a.Data, s)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
 		if a.Grad != nil {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			kernels.AccumAdd(a.Grad, out.Grad)
 		}
 	}
 	return out
 }
 
 // MatMul returns the matrix product a x b, where a is MxK and b is KxN.
+//
+// The product never short-circuits zero operands: 0×Inf = NaN under
+// IEEE-754, so a zero-skip would silently mask non-finite values in
+// either operand from the output — and from the NaN anomaly detectors
+// watching the loss. Non-finite inputs always poison the output, in
+// forward and in both backward products.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("autograd: MatMul %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	m, k, n := a.Rows, a.Cols, b.Cols
-	data := make([]float64, m*n)
-	for i := 0; i < m; i++ {
-		ar := a.Data[i*k : (i+1)*k]
-		or := data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := ar[p]
-			if av == 0 {
-				continue
-			}
-			br := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				or[j] += av * br[j]
-			}
-		}
-	}
+	data := alloc(m * n)
+	kernels.Default().GemmAdd(data, a.Data, b.Data, m, k, n)
 	out := newResult(m, n, data, nil, a, b)
 	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
-		// dA = dOut x B^T
+		be := kernels.Default()
+		// dA += dOut x B^T
 		if a.Grad != nil {
-			for i := 0; i < m; i++ {
-				gr := out.Grad[i*n : (i+1)*n]
-				agr := a.Grad[i*k : (i+1)*k]
-				for p := 0; p < k; p++ {
-					br := b.Data[p*n : (p+1)*n]
-					var s float64
-					for j := 0; j < n; j++ {
-						s += gr[j] * br[j]
-					}
-					agr[p] += s
-				}
-			}
+			be.GemmABtAdd(a.Grad, out.Grad, b.Data, m, n, k)
 		}
-		// dB = A^T x dOut
+		// dB += A^T x dOut
 		if b.Grad != nil {
-			for i := 0; i < m; i++ {
-				ar := a.Data[i*k : (i+1)*k]
-				gr := out.Grad[i*n : (i+1)*n]
-				for p := 0; p < k; p++ {
-					av := ar[p]
-					if av == 0 {
-						continue
-					}
-					bgr := b.Grad[p*n : (p+1)*n]
-					for j := 0; j < n; j++ {
-						bgr[j] += av * gr[j]
-					}
-				}
-			}
+			be.GemmAtBAdd(b.Grad, a.Data, out.Grad, m, k, n)
 		}
 	}
 	return out
@@ -187,11 +135,9 @@ func AddRowVector(a, b *Tensor) *Tensor {
 	if b.Rows != 1 || b.Cols != a.Cols {
 		panic(fmt.Sprintf("autograd: AddRowVector %dx%d + %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	data := make([]float64, len(a.Data))
+	data := alloc(len(a.Data))
 	for i := 0; i < a.Rows; i++ {
-		for j := 0; j < a.Cols; j++ {
-			data[i*a.Cols+j] = a.Data[i*a.Cols+j] + b.Data[j]
-		}
+		kernels.AddTo(data[i*a.Cols:(i+1)*a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols], b.Data)
 	}
 	out := newResult(a.Rows, a.Cols, data, nil, a, b)
 	if out.parents == nil {
@@ -199,16 +145,10 @@ func AddRowVector(a, b *Tensor) *Tensor {
 	}
 	out.backward = func() {
 		if a.Grad != nil {
-			for i, g := range out.Grad {
-				a.Grad[i] += g
-			}
+			kernels.AccumAdd(a.Grad, out.Grad)
 		}
 		if b.Grad != nil {
-			for i := 0; i < a.Rows; i++ {
-				for j := 0; j < a.Cols; j++ {
-					b.Grad[j] += out.Grad[i*a.Cols+j]
-				}
-			}
+			kernels.ColSumAdd(b.Grad, out.Grad, a.Rows, a.Cols)
 		}
 	}
 	return out
@@ -220,12 +160,9 @@ func MulColBroadcast(a, c *Tensor) *Tensor {
 	if c.Cols != 1 || c.Rows != a.Rows {
 		panic(fmt.Sprintf("autograd: MulColBroadcast %dx%d * %dx%d", a.Rows, a.Cols, c.Rows, c.Cols))
 	}
-	data := make([]float64, len(a.Data))
+	data := alloc(len(a.Data))
 	for i := 0; i < a.Rows; i++ {
-		cv := c.Data[i]
-		for j := 0; j < a.Cols; j++ {
-			data[i*a.Cols+j] = a.Data[i*a.Cols+j] * cv
-		}
+		kernels.ScaleTo(data[i*a.Cols:(i+1)*a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols], c.Data[i])
 	}
 	out := newResult(a.Rows, a.Cols, data, nil, a, c)
 	if out.parents == nil {
@@ -264,7 +201,7 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 		}
 		total += t.Cols
 	}
-	data := make([]float64, rows*total)
+	data := alloc(rows * total)
 	off := 0
 	for _, t := range ts {
 		for i := 0; i < rows; i++ {
@@ -281,11 +218,7 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 		for _, t := range ts {
 			if t.Grad != nil {
 				for i := 0; i < rows; i++ {
-					src := out.Grad[i*total+off : i*total+off+t.Cols]
-					dst := t.Grad[i*t.Cols : (i+1)*t.Cols]
-					for j, g := range src {
-						dst[j] += g
-					}
+					kernels.AccumAdd(t.Grad[i*t.Cols:(i+1)*t.Cols], out.Grad[i*total+off:i*total+off+t.Cols])
 				}
 			}
 			off += t.Cols
@@ -300,7 +233,7 @@ func SliceCols(a *Tensor, from, to int) *Tensor {
 		panic(fmt.Sprintf("autograd: SliceCols [%d,%d) of %d cols", from, to, a.Cols))
 	}
 	w := to - from
-	data := make([]float64, a.Rows*w)
+	data := alloc(a.Rows * w)
 	for i := 0; i < a.Rows; i++ {
 		copy(data[i*w:(i+1)*w], a.Data[i*a.Cols+from:i*a.Cols+to])
 	}
@@ -311,9 +244,7 @@ func SliceCols(a *Tensor, from, to int) *Tensor {
 	out.backward = func() {
 		if a.Grad != nil {
 			for i := 0; i < a.Rows; i++ {
-				for j := 0; j < w; j++ {
-					a.Grad[i*a.Cols+from+j] += out.Grad[i*w+j]
-				}
+				kernels.AccumAdd(a.Grad[i*a.Cols+from:i*a.Cols+to], out.Grad[i*w:(i+1)*w])
 			}
 		}
 	}

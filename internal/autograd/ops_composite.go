@@ -28,7 +28,7 @@ func assertFields(op string, a *Tensor, fields, dim int) {
 func BiInteraction(a *Tensor, fields, dim int) *Tensor {
 	assertFields("BiInteraction", a, fields, dim)
 	n := a.Rows
-	data := make([]float64, n*dim)
+	data := alloc(n * dim)
 	sums := make([]float64, n*dim) // S[b,k] = Σ_f v, reused in backward
 	for b := 0; b < n; b++ {
 		row := a.Data[b*a.Cols : (b+1)*a.Cols]
@@ -76,7 +76,7 @@ func BiInteraction(a *Tensor, fields, dim int) *Tensor {
 func FMSecondOrder(a *Tensor, fields, dim int) *Tensor {
 	assertFields("FMSecondOrder", a, fields, dim)
 	n := a.Rows
-	data := make([]float64, n)
+	data := alloc(n)
 	sums := make([]float64, n*dim)
 	for b := 0; b < n; b++ {
 		row := a.Data[b*a.Cols : (b+1)*a.Cols]

@@ -3,6 +3,8 @@ package autograd
 import (
 	"fmt"
 	"math/rand"
+
+	"mamdr/internal/autograd/kernels"
 )
 
 // Gather selects rows of the table (VxD) by index, producing an NxD
@@ -11,7 +13,7 @@ import (
 // rows only, which keeps sparse-embedding training cheap.
 func Gather(table *Tensor, indices []int) *Tensor {
 	d := table.Cols
-	data := make([]float64, len(indices)*d)
+	data := alloc(len(indices) * d)
 	for i, idx := range indices {
 		if idx < 0 || idx >= table.Rows {
 			panic(fmt.Sprintf("autograd: Gather index %d out of range [0,%d)", idx, table.Rows))
@@ -25,11 +27,7 @@ func Gather(table *Tensor, indices []int) *Tensor {
 	out.backward = func() {
 		if table.Grad != nil {
 			for i, idx := range indices {
-				dst := table.Grad[idx*d : (idx+1)*d]
-				src := out.Grad[i*d : (i+1)*d]
-				for j, g := range src {
-					dst[j] += g
-				}
+				kernels.AccumAdd(table.Grad[idx*d:(idx+1)*d], out.Grad[i*d:(i+1)*d])
 			}
 		}
 	}
@@ -48,7 +46,7 @@ func Dropout(a *Tensor, p float64, training bool, rng *rand.Rand) *Tensor {
 	}
 	keep := 1 - p
 	mask := make([]float64, len(a.Data))
-	data := make([]float64, len(a.Data))
+	data := alloc(len(a.Data))
 	for i, v := range a.Data {
 		if rng.Float64() < keep {
 			mask[i] = 1 / keep

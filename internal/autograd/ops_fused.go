@@ -1,0 +1,71 @@
+package autograd
+
+import (
+	"fmt"
+
+	"mamdr/internal/autograd/kernels"
+)
+
+// Act selects the activation fused into DenseAct. The values alias the
+// kernels package so nn can stay on the autograd API alone.
+type Act = kernels.Act
+
+// Fused activation kinds.
+const (
+	ActIdentity = kernels.ActIdentity
+	ActReLU     = kernels.ActReLU
+	ActSigmoid  = kernels.ActSigmoid
+	ActTanh     = kernels.ActTanh
+	ActLeaky    = kernels.ActLeakyReLU
+)
+
+// DenseAct computes act(x·w + bias) — the dense-layer forward — as one
+// fused kernel pass instead of three ops and three intermediate
+// tensors. bias is a 1xN row or nil. slope is the LeakyReLU slope,
+// ignored by the other activations.
+//
+// The fused pass is bit-identical to the composed
+// act(AddRowVector(MatMul(x, w), bias)) in both directions: the matmul
+// accumulates in the same order, the bias lands after the full
+// reduction, the activation uses the same expressions, and the
+// backward products run the same kernels on the activation-masked
+// upstream gradient.
+func DenseAct(x, w, bias *Tensor, act Act, slope float64) *Tensor {
+	if x.Cols != w.Rows {
+		panic(fmt.Sprintf("autograd: DenseAct %dx%d x %dx%d", x.Rows, x.Cols, w.Rows, w.Cols))
+	}
+	if bias != nil && (bias.Rows != 1 || bias.Cols != w.Cols) {
+		panic(fmt.Sprintf("autograd: DenseAct bias %dx%d for %d outputs", bias.Rows, bias.Cols, w.Cols))
+	}
+	m, k, n := x.Rows, x.Cols, w.Cols
+	var biasData []float64
+	inputs := []*Tensor{x, w}
+	if bias != nil {
+		biasData = bias.Data
+		inputs = append(inputs, bias)
+	}
+	data := alloc(m * n)
+	kernels.Default().DenseForward(data, x.Data, w.Data, biasData, m, k, n, act, slope)
+	out := newResult(m, n, data, nil, inputs...)
+	if out.parents == nil {
+		return out
+	}
+	out.backward = func() {
+		// gpre = dOut masked/scaled by act'(out): the gradient at the
+		// pre-activation, recovered from the output alone.
+		gpre := kernels.Get(m * n)
+		kernels.ActGradTo(gpre, out.Data, out.Grad, act, slope)
+		if bias != nil && bias.Grad != nil {
+			kernels.ColSumAdd(bias.Grad, gpre, m, n)
+		}
+		be := kernels.Default()
+		if x.Grad != nil {
+			be.GemmABtAdd(x.Grad, gpre, w.Data, m, n, k)
+		}
+		if w.Grad != nil {
+			be.GemmAtBAdd(w.Grad, x.Data, gpre, m, k, n)
+		}
+		kernels.Put(gpre)
+	}
+	return out
+}

@@ -23,7 +23,9 @@ func BCEWithLogits(logits *Tensor, labels []float64) *Tensor {
 		total += math.Max(x, 0) - x*y + math.Log1p(math.Exp(-math.Abs(x)))
 	}
 	loss := total / float64(n)
-	out := newResult(1, 1, []float64{loss}, nil, logits)
+	data := alloc(1)
+	data[0] = loss
+	out := newResult(1, 1, data, nil, logits)
 	if out.parents == nil {
 		return out
 	}
@@ -52,7 +54,9 @@ func MSE(pred *Tensor, targets []float64) *Tensor {
 		d := x - targets[i]
 		total += d * d
 	}
-	out := newResult(1, 1, []float64{total / float64(n)}, nil, pred)
+	data := alloc(1)
+	data[0] = total / float64(n)
+	out := newResult(1, 1, data, nil, pred)
 	if out.parents == nil {
 		return out
 	}
@@ -77,7 +81,9 @@ func L2Penalty(lambda float64, params ...*Tensor) *Tensor {
 			total += v * v
 		}
 	}
-	out := newResult(1, 1, []float64{lambda / 2 * total}, nil, params...)
+	data := alloc(1)
+	data[0] = lambda / 2 * total
+	out := newResult(1, 1, data, nil, params...)
 	if out.parents == nil {
 		return out
 	}

@@ -1,19 +1,24 @@
 package autograd
 
-import "math"
+import (
+	"fmt"
+	"math"
+
+	"mamdr/internal/autograd/kernels"
+)
 
 // Sigmoid returns the elementwise logistic function 1/(1+exp(-x)).
 func Sigmoid(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i, v := range a.Data {
-		data[i] = 1 / (1 + math.Exp(-v))
-	}
+	data := alloc(len(a.Data))
+	kernels.SigmoidTo(data, a.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
 		if a.Grad != nil {
+			// Same expression order as kernels.ActGradTo, so the
+			// fused dense path and this op are bit-identical.
 			for i, g := range out.Grad {
 				s := data[i]
 				a.Grad[i] += g * s * (1 - s)
@@ -25,12 +30,8 @@ func Sigmoid(a *Tensor) *Tensor {
 
 // ReLU returns max(x, 0) elementwise.
 func ReLU(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i, v := range a.Data {
-		if v > 0 {
-			data[i] = v
-		}
-	}
+	data := alloc(len(a.Data))
+	kernels.ReLUTo(data, a.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
@@ -49,14 +50,8 @@ func ReLU(a *Tensor) *Tensor {
 
 // LeakyReLU returns x for x>0 and slope*x otherwise, elementwise.
 func LeakyReLU(a *Tensor, slope float64) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i, v := range a.Data {
-		if v > 0 {
-			data[i] = v
-		} else {
-			data[i] = slope * v
-		}
-	}
+	data := alloc(len(a.Data))
+	kernels.LeakyReLUTo(data, a.Data, slope)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
@@ -77,10 +72,8 @@ func LeakyReLU(a *Tensor, slope float64) *Tensor {
 
 // Tanh returns the elementwise hyperbolic tangent.
 func Tanh(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i, v := range a.Data {
-		data[i] = math.Tanh(v)
-	}
+	data := alloc(len(a.Data))
+	kernels.TanhTo(data, a.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
@@ -97,19 +90,15 @@ func Tanh(a *Tensor) *Tensor {
 
 // Exp returns e^x elementwise.
 func Exp(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i, v := range a.Data {
-		data[i] = math.Exp(v)
-	}
+	data := alloc(len(a.Data))
+	kernels.ExpTo(data, a.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
 	}
 	out.backward = func() {
 		if a.Grad != nil {
-			for i, g := range out.Grad {
-				a.Grad[i] += g * data[i]
-			}
+			kernels.MulAdd(a.Grad, out.Grad, data)
 		}
 	}
 	return out
@@ -119,7 +108,7 @@ func Exp(a *Tensor) *Tensor {
 // small positive epsilon to keep the graph finite.
 func Log(a *Tensor) *Tensor {
 	const eps = 1e-12
-	data := make([]float64, len(a.Data))
+	data := alloc(len(a.Data))
 	for i, v := range a.Data {
 		data[i] = math.Log(math.Max(v, eps))
 	}
@@ -139,10 +128,8 @@ func Log(a *Tensor) *Tensor {
 
 // Square returns x*x elementwise.
 func Square(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
-	for i, v := range a.Data {
-		data[i] = v * v
-	}
+	data := alloc(len(a.Data))
+	kernels.SquareTo(data, a.Data)
 	out := newResult(a.Rows, a.Cols, data, nil, a)
 	if out.parents == nil {
 		return out
@@ -160,7 +147,7 @@ func Square(a *Tensor) *Tensor {
 // SoftmaxRows applies a numerically stable softmax independently to each
 // row of a.
 func SoftmaxRows(a *Tensor) *Tensor {
-	data := make([]float64, len(a.Data))
+	data := alloc(len(a.Data))
 	for i := 0; i < a.Rows; i++ {
 		row := a.Data[i*a.Cols : (i+1)*a.Cols]
 		max := row[0]
@@ -190,10 +177,7 @@ func SoftmaxRows(a *Tensor) *Tensor {
 		for i := 0; i < a.Rows; i++ {
 			s := data[i*a.Cols : (i+1)*a.Cols]
 			g := out.Grad[i*a.Cols : (i+1)*a.Cols]
-			var dot float64
-			for j := range s {
-				dot += s[j] * g[j]
-			}
+			dot := kernels.Dot(s, g)
 			ag := a.Grad[i*a.Cols : (i+1)*a.Cols]
 			for j := range s {
 				ag[j] += s[j] * (g[j] - dot)
@@ -205,11 +189,9 @@ func SoftmaxRows(a *Tensor) *Tensor {
 
 // Sum reduces all elements of a to a 1x1 scalar.
 func Sum(a *Tensor) *Tensor {
-	var s float64
-	for _, v := range a.Data {
-		s += v
-	}
-	out := newResult(1, 1, []float64{s}, nil, a)
+	data := alloc(1)
+	data[0] = kernels.Sum(a.Data)
+	out := newResult(1, 1, data, nil, a)
 	if out.parents == nil {
 		return out
 	}
@@ -225,20 +207,21 @@ func Sum(a *Tensor) *Tensor {
 }
 
 // Mean reduces all elements of a to their arithmetic mean as a scalar.
+// A zero-size input panics: dividing by zero would silently return
+// ±Inf/NaN and poison everything downstream.
 func Mean(a *Tensor) *Tensor {
+	if a.Size() == 0 {
+		panic(fmt.Sprintf("autograd: Mean of empty %dx%d tensor", a.Rows, a.Cols))
+	}
 	return Scale(Sum(a), 1/float64(a.Size()))
 }
 
 // SumRows reduces each row of the MxN tensor a to a single value,
 // producing an Mx1 column.
 func SumRows(a *Tensor) *Tensor {
-	data := make([]float64, a.Rows)
+	data := alloc(a.Rows)
 	for i := 0; i < a.Rows; i++ {
-		var s float64
-		for j := 0; j < a.Cols; j++ {
-			s += a.Data[i*a.Cols+j]
-		}
-		data[i] = s
+		data[i] = kernels.Sum(a.Data[i*a.Cols : (i+1)*a.Cols])
 	}
 	out := newResult(a.Rows, 1, data, nil, a)
 	if out.parents == nil {
@@ -261,13 +244,9 @@ func SumRows(a *Tensor) *Tensor {
 // producing an Mx1 column: out[i] = <a[i,:], b[i,:]>.
 func RowDot(a, b *Tensor) *Tensor {
 	assertSameShape("RowDot", a, b)
-	data := make([]float64, a.Rows)
+	data := alloc(a.Rows)
 	for i := 0; i < a.Rows; i++ {
-		var s float64
-		for j := 0; j < a.Cols; j++ {
-			s += a.Data[i*a.Cols+j] * b.Data[i*a.Cols+j]
-		}
-		data[i] = s
+		data[i] = kernels.Dot(a.Data[i*a.Cols:(i+1)*a.Cols], b.Data[i*a.Cols:(i+1)*a.Cols])
 	}
 	out := newResult(a.Rows, 1, data, nil, a, b)
 	if out.parents == nil {
@@ -276,13 +255,11 @@ func RowDot(a, b *Tensor) *Tensor {
 	out.backward = func() {
 		for i := 0; i < a.Rows; i++ {
 			g := out.Grad[i]
-			for j := 0; j < a.Cols; j++ {
-				if a.Grad != nil {
-					a.Grad[i*a.Cols+j] += g * b.Data[i*a.Cols+j]
-				}
-				if b.Grad != nil {
-					b.Grad[i*a.Cols+j] += g * a.Data[i*a.Cols+j]
-				}
+			if a.Grad != nil {
+				kernels.AxpyAdd(a.Grad[i*a.Cols:(i+1)*a.Cols], b.Data[i*a.Cols:(i+1)*a.Cols], g)
+			}
+			if b.Grad != nil {
+				kernels.AxpyAdd(b.Grad[i*a.Cols:(i+1)*a.Cols], a.Data[i*a.Cols:(i+1)*a.Cols], g)
 			}
 		}
 	}

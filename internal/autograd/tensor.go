@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"mamdr/internal/autograd/kernels"
 )
 
 // Tensor is a dense, row-major matrix of float64 values that can
@@ -35,7 +37,14 @@ type Tensor struct {
 	requiresGrad bool
 	parents      []*Tensor
 	backward     func()
+	// pooled marks Data (and Grad) as drawn from the kernels buffer
+	// arena; Release returns such buffers for reuse.
+	pooled bool
 }
+
+// alloc returns a zeroed buffer from the kernels arena. Op results
+// allocate through it so Release can recycle their memory.
+func alloc(n int) []float64 { return kernels.Get(n) }
 
 // New returns a tensor of the given shape backed by data. The slice is
 // used directly (not copied); len(data) must equal rows*cols.
@@ -133,10 +142,15 @@ func (t *Tensor) ZeroGrad() {
 	}
 }
 
-// ensureGrad allocates the gradient buffer if absent.
+// ensureGrad allocates the gradient buffer if absent. Pooled (op
+// result) tensors draw it from the arena so Release can recycle it.
 func (t *Tensor) ensureGrad() {
 	if t.Grad == nil {
-		t.Grad = make([]float64, len(t.Data))
+		if t.pooled {
+			t.Grad = alloc(len(t.Data))
+		} else {
+			t.Grad = make([]float64, len(t.Data))
+		}
 	}
 }
 
@@ -152,9 +166,11 @@ func needsGraph(inputs ...*Tensor) bool {
 }
 
 // newResult builds the output tensor of an op, wiring graph edges when any
-// input participates in differentiation.
+// input participates in differentiation. Every op allocates data via
+// alloc, so the result is marked pooled for Release.
 func newResult(rows, cols int, data []float64, bw func(), inputs ...*Tensor) *Tensor {
 	out := New(rows, cols, data)
+	out.pooled = true
 	if needsGraph(inputs...) {
 		out.parents = inputs
 		out.backward = bw
@@ -173,32 +189,86 @@ func (t *Tensor) Backward() {
 	t.ensureGrad()
 	t.Grad[0] = 1
 
-	// Topologically order the graph (post-order DFS), then replay in
-	// reverse so each node's gradient is complete before it propagates
-	// to its parents.
+	// Topologically order the graph, then replay in reverse so each
+	// node's gradient is complete before it propagates to its parents.
+	// The post-order DFS uses an explicit stack: a recursive walk
+	// overflows the goroutine stack on the very deep graphs produced
+	// by long inner-loop chains, which is a fatal error Go cannot
+	// recover from. Traversal order matches the recursive version
+	// exactly (mark on push, emit after all children), preserving the
+	// gradient accumulation order bit for bit.
 	var order []*Tensor
-	visited := map[*Tensor]bool{}
-	var visit func(n *Tensor)
-	visit = func(n *Tensor) {
-		if visited[n] {
-			return
-		}
-		visited[n] = true
-		for _, p := range n.parents {
-			visit(p)
-		}
-		order = append(order, n)
+	visited := map[*Tensor]bool{t: true}
+	type frame struct {
+		n   *Tensor
+		idx int // next parent to descend into
 	}
-	visit(t)
+	stack := []frame{{n: t}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(f.n.parents) {
+			p := f.n.parents[f.idx]
+			f.idx++
+			if !visited[p] {
+				visited[p] = true
+				stack = append(stack, frame{n: p})
+			}
+			continue
+		}
+		order = append(order, f.n)
+		stack = stack[:len(stack)-1]
+	}
 
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		if n.backward != nil {
 			for _, p := range n.parents {
-				p.ensureGrad()
+				// Interior nodes need Grad as conduits and trainable
+				// leaves accumulate into it; plain data leaves are
+				// left nil so their ops skip the wasted accumulation.
+				if p.requiresGrad || p.parents != nil {
+					p.ensureGrad()
+				}
 			}
 			n.backward()
 		}
+	}
+}
+
+// Release walks the graph rooted at t and returns every op-result
+// tensor's Data and Grad buffer to the kernels arena, then severs the
+// graph edges. Leaves — parameters and caller-constructed inputs —
+// are never touched. Call it once the step's outputs have been read
+// (after Item/Backward/optimizer); the released tensors, and any
+// Detach views of interior nodes, must not be used afterwards.
+// Releasing finished graphs makes steady-state training and serving
+// allocation-free in the op hot path.
+func (t *Tensor) Release() {
+	if !t.pooled && t.parents == nil {
+		return
+	}
+	seen := map[*Tensor]bool{t: true}
+	stack := []*Tensor{t}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range n.parents {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+		if n.pooled {
+			kernels.Put(n.Data)
+			n.Data = nil
+			if n.Grad != nil {
+				kernels.Put(n.Grad)
+				n.Grad = nil
+			}
+			n.pooled = false
+		}
+		n.parents = nil
+		n.backward = nil
 	}
 }
 

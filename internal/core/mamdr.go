@@ -94,7 +94,9 @@ func (s *State) Predict(b *data.Batch) []float64 {
 	params := s.Model.Parameters()
 	saved := paramvec.Snapshot(params)
 	paramvec.Restore(params, s.ComposedFor(b.Domain))
-	probs := framework.SigmoidAll(s.Model.Forward(b, false))
+	logits := s.Model.Forward(b, false)
+	probs := framework.SigmoidAll(logits)
+	logits.Release()
 	paramvec.Restore(params, saved)
 	return probs
 }

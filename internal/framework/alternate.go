@@ -78,7 +78,9 @@ func (p *PerDomainPredictor) Predict(b *data.Batch) []float64 {
 	params := p.Model.Parameters()
 	saved := paramvec.Snapshot(params)
 	paramvec.Restore(params, p.Vectors[b.Domain])
-	probs := SigmoidAll(p.Model.Forward(b, false))
+	logits := p.Model.Forward(b, false)
+	probs := SigmoidAll(logits)
+	logits.Release()
 	paramvec.Restore(params, saved)
 	return probs
 }

@@ -180,7 +180,10 @@ type modelPredictor struct{ m models.Model }
 
 // Predict implements Predictor.
 func (p modelPredictor) Predict(b *data.Batch) []float64 {
-	return SigmoidAll(p.m.Forward(b, false))
+	logits := p.m.Forward(b, false)
+	probs := SigmoidAll(logits)
+	logits.Release()
+	return probs
 }
 
 // NewModelPredictor wraps a trained model as a Predictor.
@@ -220,6 +223,7 @@ func TrainDomainPassCtx(ctx context.Context, m models.Model, ds *data.Dataset, d
 		opt.Step(params)
 		op.End()
 		total += loss.Item()
+		loss.Release()
 	}
 	if len(batches) == 0 {
 		return 0
@@ -245,6 +249,7 @@ func DomainGradient(m models.Model, ds *data.Dataset, domain int, batchSize, max
 		loss := autograd.Scale(autograd.BCEWithLogits(m.Forward(b, true), b.Labels), 1/float64(len(batches)))
 		loss.Backward()
 		total += loss.Item() * float64(len(batches))
+		loss.Release()
 	}
 	if len(batches) == 0 {
 		return 0

@@ -177,5 +177,7 @@ func gradOnBatch(m models.Model, b *data.Batch) float64 {
 	}
 	loss := autogradBCE(m, b)
 	loss.Backward()
-	return loss.Item()
+	v := loss.Item()
+	loss.Release()
+	return v
 }

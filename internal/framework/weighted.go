@@ -53,6 +53,7 @@ func (WeightedLoss) Fit(m models.Model, ds *data.Dataset, cfg Config) Predictor 
 				loss := autograd.Add(autograd.Mul(precision, bce), logVars[d])
 				loss.Backward()
 				opt.Step(all)
+				loss.Release()
 			}
 		}
 	}

@@ -49,12 +49,11 @@ func newStarLayer(in, out, domains int, act nn.Activation, rng *rand.Rand) *star
 func (l *starLayer) forward(x *autograd.Tensor, domain int) *autograd.Tensor {
 	w := autograd.Mul(l.wShared, l.wDomain[domain])
 	b := autograd.Add(l.bShared, l.bDomain[domain])
-	h := autograd.AddRowVector(autograd.MatMul(x, w), b)
 	switch l.act {
 	case nn.ReLU:
-		return autograd.ReLU(h)
+		return autograd.DenseAct(x, w, b, autograd.ActReLU, 0)
 	case nn.Linear:
-		return h
+		return autograd.DenseAct(x, w, b, autograd.ActIdentity, 0)
 	default:
 		panic("models: unsupported STAR activation")
 	}

@@ -37,6 +37,27 @@ func (a Activation) String() string {
 	}
 }
 
+// actKind maps the layer activation onto the fused autograd kind.
+func actKind(a Activation) autograd.Act {
+	switch a {
+	case Linear:
+		return autograd.ActIdentity
+	case ReLU:
+		return autograd.ActReLU
+	case Sigmoid:
+		return autograd.ActSigmoid
+	case Tanh:
+		return autograd.ActTanh
+	case LeakyReLU:
+		return autograd.ActLeaky
+	default:
+		panic("nn: unknown activation " + a.String())
+	}
+}
+
+// leakySlope is the LeakyReLU slope used across the package.
+const leakySlope = 0.01
+
 func applyActivation(a Activation, x *autograd.Tensor) *autograd.Tensor {
 	switch a {
 	case Linear:
@@ -48,7 +69,7 @@ func applyActivation(a Activation, x *autograd.Tensor) *autograd.Tensor {
 	case Tanh:
 		return autograd.Tanh(x)
 	case LeakyReLU:
-		return autograd.LeakyReLU(x, 0.01)
+		return autograd.LeakyReLU(x, leakySlope)
 	default:
 		panic("nn: unknown activation " + a.String())
 	}
@@ -71,9 +92,11 @@ func NewDense(in, out int, act Activation, rng *rand.Rand) *Dense {
 	}
 }
 
-// Forward applies the layer to an NxIn batch, producing NxOut.
+// Forward applies the layer to an NxIn batch, producing NxOut. The
+// matmul, bias add, and activation run as one fused kernel pass,
+// bit-identical to the composed ops.
 func (d *Dense) Forward(x *autograd.Tensor) *autograd.Tensor {
-	return applyActivation(d.Act, autograd.AddRowVector(autograd.MatMul(x, d.W), d.B))
+	return autograd.DenseAct(x, d.W, d.B, actKind(d.Act), leakySlope)
 }
 
 // Parameters implements Module.

@@ -226,6 +226,7 @@ func (w *Worker) runEpoch(ctx context.Context, rng *rand.Rand, deferPush bool) {
 			inner.Step(w.params)
 			op.End()
 			total += loss.Item()
+			loss.Release()
 			w.batchClock++
 			if w.OnBeat != nil {
 				w.OnBeat()

@@ -388,7 +388,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 // replica's tensors are exclusively ours while it is out of the pool.
 func (s *Server) predictOn(rep *replica, snap *snapshot, domain int, b *data.Batch) []float64 {
 	paramvec.Restore(rep.params, snap.composed[domain])
-	return framework.SigmoidAll(rep.model.Forward(b, false))
+	logits := rep.model.Forward(b, false)
+	probs := framework.SigmoidAll(logits)
+	logits.Release()
+	return probs
 }
 
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Gate kernel benchmarks against the committed baseline.
+
+Usage: bench_guard.py <baseline.txt> <current.txt> [max_regression]
+
+Both files are raw `go test -bench` output. For each benchmark name
+(CPU-count suffix stripped, so `-4` runners compare against a `-1`
+baseline) the median ns/op is compared; the run fails if any benchmark
+regressed by more than max_regression (default 0.20 = +20%).
+
+Medians across -count repetitions absorb single-run noise; the 20%
+threshold absorbs runner-to-runner variance. For a human-readable
+delta table use benchstat — this script is only the pass/fail gate.
+"""
+import re
+import statistics
+import sys
+
+LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op")
+
+
+def medians(path):
+    runs = {}
+    for line in open(path):
+        m = LINE.match(line)
+        if m:
+            runs.setdefault(m.group(1), []).append(float(m.group(2)))
+    return {name: statistics.median(vals) for name, vals in runs.items()}
+
+
+def main():
+    base, cur = medians(sys.argv[1]), medians(sys.argv[2])
+    limit = float(sys.argv[3]) if len(sys.argv) > 3 else 0.20
+    if not base:
+        sys.exit(f"no benchmarks parsed from baseline {sys.argv[1]}")
+    missing = sorted(set(base) - set(cur))
+    if missing:
+        sys.exit(f"benchmarks missing from current run: {missing}")
+    failed = False
+    for name in sorted(base):
+        delta = cur[name] / base[name] - 1.0
+        status = "ok"
+        if delta > limit:
+            status, failed = "REGRESSION", True
+        print(f"{status:>10}  {name:<32} {base[name]:>12.0f} ns/op -> "
+              f"{cur[name]:>12.0f} ns/op  ({delta:+.1%})")
+    if failed:
+        sys.exit(f"benchmark regression beyond {limit:.0%} threshold")
+    print(f"bench-guard: all {len(base)} benchmarks within {limit:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster smoke-obs ci check
 
 all: check
 
@@ -64,6 +64,47 @@ smoke-cluster:
 	python3 -c "import json; n={e['name'] for e in json.load(open('/tmp/cluster.trace.json'))}; missing={'cluster.pull_rows','cluster.push_delta','cluster.shard_call'}-n; assert not missing, missing; print('ok: cluster spans present')"
 	$(GO) test -count=1 -run 'TestClusterTrainingBitIdenticalAcrossShardCounts|TestShardFailoverMatchesCleanRun|TestClusterChaosOverRPCBitIdentical' ./internal/cluster/
 
+# The CI obs-smoke job locally: two shard servers plus a faulted
+# 2-worker training run, observed live by mamdr-obs. The federated
+# exposition must carry every instance, the faulted run must fire at
+# least one burn-rate alert (with a flight-recorder dump), and a clean
+# run observed by a fresh monitor must fire none.
+smoke-obs:
+	$(GO) build -o /tmp/mamdr-bin/ ./cmd/mamdr-train ./cmd/mamdr-obs
+	/tmp/mamdr-bin/mamdr-train -preset amazon-6 -samples 2000 -seed 7 \
+		-ps-serve 127.0.0.1:7101,127.0.0.1:7102 >/tmp/obs-ps.log 2>&1 & echo $$! > /tmp/obs-ps.pid
+	sleep 1
+	kill -0 `cat /tmp/obs-ps.pid` || { cat /tmp/obs-ps.log; exit 1; }
+	/tmp/mamdr-bin/mamdr-obs \
+		-scrape trainer=127.0.0.1:9190,rpc://127.0.0.1:7101,rpc://127.0.0.1:7102 \
+		-interval 500ms -run-for 30s -slo-fast -addr 127.0.0.1:9600 \
+		-events /tmp/obs-events.jsonl -flight-dump /tmp/obs-flight \
+		>/tmp/obs-faulty.txt 2>&1 & \
+	sleep 0.5; \
+	/tmp/mamdr-bin/mamdr-train -preset amazon-6 -samples 2000 -epochs 4 -seed 7 \
+		-ps-workers 2 -ps-sync-push -ps-addrs 127.0.0.1:7101,127.0.0.1:7102 \
+		-ps-faults "PushDelta:err@p0.3; PullRows:err@p0.2" \
+		-metrics-addr 127.0.0.1:9190 -metrics-linger 30s -trace /tmp/obs.trace.json \
+		>/tmp/obs-train.log 2>&1 & \
+	sleep 12; curl -s 127.0.0.1:9600/metrics > /tmp/obs-federated.txt; wait
+	grep -E 'alerts_fired=[1-9]' /tmp/obs-faulty.txt
+	grep '"event":"slo_burn"' /tmp/obs-events.jsonl >/dev/null
+	test -s /tmp/obs-flight-slo_ps-rpc-failures.trace.json
+	grep -c 'instance="127.0.0.1:7101"' /tmp/obs-federated.txt >/dev/null
+	grep -c 'role="trainer"' /tmp/obs-federated.txt >/dev/null
+	/tmp/mamdr-bin/mamdr-obs \
+		-scrape trainer=127.0.0.1:9191,rpc://127.0.0.1:7101,rpc://127.0.0.1:7102 \
+		-interval 500ms -run-for 15s -slo-fast -addr 127.0.0.1:9601 \
+		>/tmp/obs-clean.txt 2>&1 & \
+	sleep 0.5; \
+	/tmp/mamdr-bin/mamdr-train -preset amazon-6 -samples 2000 -epochs 4 -seed 7 \
+		-ps-workers 2 -ps-sync-push -ps-addrs 127.0.0.1:7101,127.0.0.1:7102 \
+		-metrics-addr 127.0.0.1:9191 -metrics-linger 5s >/dev/null 2>&1; \
+	wait
+	kill `cat /tmp/obs-ps.pid`
+	grep -E 'alerts_fired=0' /tmp/obs-clean.txt
+	@echo "ok: faulted run fired, clean run quiet"
+
 # The PS, cluster, and serving paths are the concurrent hot spots; keep
 # them race-clean.
 race:
@@ -104,5 +145,6 @@ ci:
 	$(GO) test -race ./...
 	$(MAKE) smoke-chaos
 	$(MAKE) smoke-cluster
+	$(MAKE) smoke-obs
 
 check: vet build test race

@@ -7,6 +7,7 @@
 //	curl -XPOST localhost:8080/predict -d '{"domain":0,"users":[1,2],"items":[3,4]}'
 //	curl -XPOST localhost:8080/domains          # register a new domain
 //	curl localhost:8080/metrics                 # Prometheus exposition
+//	mamdr-serve -ps-addrs 127.0.0.1:7001,127.0.0.1:7002   # serve a live PS cluster's parameters
 package main
 
 import (
@@ -19,13 +20,18 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"mamdr"
 	"mamdr/internal/autograd/kernels"
+	"mamdr/internal/cluster"
 	"mamdr/internal/core"
 	"mamdr/internal/models"
+	"mamdr/internal/obsv"
+	"mamdr/internal/ps"
 	"mamdr/internal/serve"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
@@ -47,6 +53,8 @@ func main() {
 		timeout       = flag.Duration("timeout", 5*time.Second, "per-request replica-acquisition timeout")
 		checkpoint    = flag.String("checkpoint", "", "load a state saved with core.State.Save instead of training")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
+		embDim        = flag.Int("emb", 8, "embedding dimension (must match the cluster's -emb when -ps-addrs is set)")
+		psAddrs       = flag.String("ps-addrs", "", "comma-separated shard-server addresses (replicas of one shard joined with '|'): load the shared parameters from the running cluster and report its connectivity in /readyz")
 
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus /metrics and instrument the request path")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -56,6 +64,9 @@ func main() {
 		traceSample = flag.Float64("trace-sample", 1, "fraction of request root spans to record (0..1)")
 		flightDump  = flag.String("flight-dump", "", "flight-recorder dump path prefix for anomalies such as pool saturation (default <trace>.flight when -trace is set)")
 		withTrace   = flag.Bool("tracing", true, "enable request tracing and /debug/trace capture-on-demand")
+
+		profileDir      = flag.String("profile-dir", "", "continuous profiling: keep a ring of CPU+heap pprof profiles in this directory")
+		profileInterval = flag.Duration("profile-interval", 30*time.Second, "continuous-profiling capture cadence (with -profile-dir)")
 	)
 	flag.Parse()
 	kernels.SetThreads(*kernelThreads)
@@ -67,7 +78,7 @@ func main() {
 
 	res, err := mamdr.Train(mamdr.TrainSpec{
 		Dataset: ds, Model: *model, Framework: "mamdr",
-		Epochs: pickEpochs(*checkpoint, *epochs), Seed: *seed,
+		Epochs: pickEpochs2(*checkpoint, *psAddrs, *epochs), EmbDim: *embDim, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -85,10 +96,31 @@ func main() {
 		log.Printf("trained %s on %s: mean test AUC %.4f", *model, ds.Name, res.MeanTestAUC)
 	}
 
+	// Cluster-backed state: pull the shared parameters straight from a
+	// running shard cluster (the one mamdr-train -ps-serve hosts) and
+	// keep per-shard probe clients so /readyz reflects PS connectivity.
+	var upstream func() error
+	if *psAddrs != "" {
+		groups := parseShardAddrs(*psAddrs)
+		if len(groups) == 0 {
+			log.Fatal("-ps-addrs: no addresses given")
+		}
+		serving := models.MustNew(*model, models.Config{Dataset: ds, EmbDim: *embDim, Seed: *seed})
+		plan := ps.NewPlan(ps.LayoutOf(serving.Parameters(), models.EmbeddingTablesOf(serving)), len(groups), *seed)
+		router, err := cluster.Dial(plan, groups, nil, cluster.Options{})
+		if err != nil {
+			log.Fatalf("-ps-addrs: %v", err)
+		}
+		state.Shared = router.Snapshot()
+		log.Printf("loaded shared parameters from %d-shard cluster at %s", len(groups), *psAddrs)
+		upstream = shardProber(groups)
+	}
+
 	var reg *telemetry.Registry
 	if *withMetrics {
 		reg = telemetry.New()
 		telemetry.RegisterGoRuntime(reg)
+		obsv.RegisterBuildInfo(reg, "serve")
 	}
 	logger, err := openAccessLog(*accessLog)
 	if err != nil {
@@ -115,17 +147,34 @@ func main() {
 		}
 	}
 
+	// Continuous profiling: bounded pprof ring, flushed next to the
+	// flight-recorder dump when an anomaly fires.
+	if *profileDir != "" {
+		prof, err := obsv.NewProfiler(obsv.ProfileOptions{Dir: *profileDir, Interval: *profileInterval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go prof.Run(context.Background())
+		if tracer != nil {
+			tracer.Flight().SetOnDump(func(d trace.Dump) {
+				prof.DumpTo(filepath.Join(*profileDir, "flight-"+d.Kind))
+			})
+		}
+		log.Printf("continuous profiling to %s every %s", *profileDir, *profileInterval)
+	}
+
 	srv := serve.NewWithOptions(state, ds, serve.Options{
 		Replicas:       *replicas,
 		RequestTimeout: *timeout,
 		Metrics:        reg,
 		AccessLog:      logger,
 		Tracer:         tracer,
+		Upstream:       upstream,
 		// Replicas mirror the trained model's structure (same Config,
 		// including Seed); their initial weights are irrelevant because
 		// every prediction restores a precomposed snapshot first.
 		ReplicaFactory: func() models.Model {
-			return models.MustNew(*model, models.Config{Dataset: ds, Seed: *seed})
+			return models.MustNew(*model, models.Config{Dataset: ds, EmbDim: *embDim, Seed: *seed})
 		},
 	})
 	handler := srv.Handler()
@@ -202,12 +251,61 @@ func openAccessLog(dest string) (*slog.Logger, error) {
 	return slog.New(slog.NewJSONHandler(w, nil)), nil
 }
 
-// pickEpochs trains minimally when a checkpoint will overwrite the
-// state anyway (the model must still be constructed with the right
-// structure).
-func pickEpochs(checkpoint string, epochs int) int {
-	if checkpoint != "" {
+// pickEpochs2 trains minimally when a checkpoint or a live PS cluster
+// will overwrite the shared state anyway (the model must still be
+// constructed with the right structure).
+func pickEpochs2(checkpoint, psAddrs string, epochs int) int {
+	if checkpoint != "" || psAddrs != "" {
 		return 1
 	}
 	return epochs
+}
+
+// parseShardAddrs splits "a,b,c" into per-shard address groups; the
+// replicas of one shard are joined with '|' ("a0|a1,b0|b1") — the same
+// syntax mamdr-train's -ps-serve/-ps-addrs use.
+func parseShardAddrs(s string) [][]string {
+	var out [][]string
+	for _, shard := range strings.Split(s, ",") {
+		var reps []string
+		for _, a := range strings.Split(shard, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				reps = append(reps, a)
+			}
+		}
+		if len(reps) > 0 {
+			out = append(out, reps)
+		}
+	}
+	return out
+}
+
+// shardProber dials one probe client per shard replica and returns the
+// /readyz upstream check: every replica must answer a Ping within a
+// second, and the first failure names the shard that is down.
+func shardProber(groups [][]string) func() error {
+	type probe struct {
+		sh, rep int
+		cl      *ps.Client
+	}
+	var probes []probe
+	for sh, g := range groups {
+		for rep, addr := range g {
+			cl, err := ps.Dial(addr)
+			if err != nil {
+				log.Fatalf("shard %d replica %d (%s): %v", sh, rep, addr, err)
+			}
+			probes = append(probes, probe{sh, rep, cl})
+		}
+	}
+	return func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		for _, p := range probes {
+			if err := p.cl.Ping(ctx); err != nil {
+				return fmt.Errorf("shard %d replica %d: %w", p.sh, p.rep, err)
+			}
+		}
+		return nil
+	}
 }

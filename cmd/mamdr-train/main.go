@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,6 +34,7 @@ import (
 	"mamdr/internal/framework"
 	"mamdr/internal/metrics"
 	"mamdr/internal/models"
+	"mamdr/internal/obsv"
 	"mamdr/internal/ps"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
@@ -59,9 +61,14 @@ func main() {
 
 		kernelThreads = flag.Int("kernel-threads", 0, "goroutines per math kernel (0 = GOMAXPROCS; results are bit-identical at any setting)")
 
-		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address during training (e.g. :9090)")
-		metricsLinger = flag.Duration("metrics-linger", 0, "keep /metrics up this long after training (for a final scrape)")
-		eventsPath    = flag.String("events", "", "append one JSONL event per epoch to this file")
+		metricsAddr    = flag.String("metrics-addr", "", "serve Prometheus /metrics on this address during training (e.g. :9090)")
+		metricsLinger  = flag.Duration("metrics-linger", 0, "keep /metrics up this long after training (for a final scrape)")
+		eventsPath     = flag.String("events", "", "append one JSONL event per epoch to this file")
+		eventsMaxBytes = flag.Int64("events-max-bytes", 0, "rotate the -events file after it reaches this size (0 = never rotate)")
+		eventsKeep     = flag.Int("events-keep", 3, "rotated -events segments to keep (with -events-max-bytes)")
+
+		profileDir      = flag.String("profile-dir", "", "continuous profiling: keep a ring of CPU+heap pprof profiles in this directory")
+		profileInterval = flag.Duration("profile-interval", 30*time.Second, "continuous-profiling capture cadence (with -profile-dir)")
 
 		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (load in Perfetto or chrome://tracing)")
 		traceSample = flag.Float64("trace-sample", 1, "fraction of root spans to record (0..1)")
@@ -122,12 +129,20 @@ func main() {
 
 	// Observability: a private registry exposed over HTTP plus an
 	// append-only JSONL event log. Both are optional and free when off.
+	// The /metrics/snapshot endpoint serves the versioned JSON snapshot
+	// that mamdr-obs federates across the fleet.
+	role := "trainer"
+	if *psServe != "" {
+		role = "ps"
+	}
 	var reg *telemetry.Registry
 	if *metricsAddr != "" {
 		reg = telemetry.New()
 		telemetry.RegisterGoRuntime(reg)
+		obsv.RegisterBuildInfo(reg, role)
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/metrics/snapshot", telemetry.SnapshotHandler(role, *metricsAddr, reg))
 		mux.Handle("/debug/trace", trace.CaptureHandler(tracer))
 		go func() {
 			log.Printf("serving /metrics on %s", *metricsAddr)
@@ -139,11 +154,33 @@ func main() {
 	}
 	var events *telemetry.EventLog
 	if *eventsPath != "" {
-		events, err = telemetry.OpenEventLog(*eventsPath)
+		if *eventsMaxBytes > 0 {
+			events, err = telemetry.OpenEventLogRotating(*eventsPath,
+				telemetry.Rotation{MaxBytes: *eventsMaxBytes, Keep: *eventsKeep})
+		} else {
+			events, err = telemetry.OpenEventLog(*eventsPath)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer events.Close()
+	}
+
+	// Continuous profiling: a bounded on-disk ring of CPU+heap pprof
+	// captures; a flight-recorder dump copies the ring next to the trace
+	// so an anomaly ships with the profiles of the moments before it.
+	if *profileDir != "" {
+		prof, err := obsv.NewProfiler(obsv.ProfileOptions{Dir: *profileDir, Interval: *profileInterval})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go prof.Run(context.Background())
+		if tracer != nil {
+			tracer.Flight().SetOnDump(func(d trace.Dump) {
+				prof.DumpTo(filepath.Join(*profileDir, "flight-"+d.Kind))
+			})
+		}
+		log.Printf("continuous profiling to %s every %s", *profileDir, *profileInterval)
 	}
 
 	fmt.Printf("dataset %s: %d domains, %d samples\n", ds.Name, ds.NumDomains(), ds.TotalSamples())
@@ -152,7 +189,7 @@ func main() {
 	// training process with matching -model/-emb/-seed (so the partition
 	// plans agree) then connects with -ps-addrs.
 	if *psServe != "" {
-		serveCluster(ds, *model, *psServe, *embDim, *seed, *outerLR, *checkpointDir, tracer)
+		serveCluster(ds, *model, *psServe, *embDim, *seed, *outerLR, *checkpointDir, tracer, reg)
 		return
 	}
 
@@ -276,7 +313,7 @@ func parseShardAddrs(s string) [][]string {
 // the model layout and -seed, exactly as the training side derives it,
 // so both ends agree on which shard owns which slice (cluster.Dial
 // verifies the layouts and refuses a mismatched cluster).
-func serveCluster(ds *mamdr.Dataset, model, addrSpec string, embDim int, seed int64, outerLR float64, checkpointDir string, tracer *trace.Tracer) {
+func serveCluster(ds *mamdr.Dataset, model, addrSpec string, embDim int, seed int64, outerLR float64, checkpointDir string, tracer *trace.Tracer, reg *telemetry.Registry) {
 	groups := parseShardAddrs(addrSpec)
 	if len(groups) == 0 {
 		log.Fatal("-ps-serve: no addresses given")
@@ -287,10 +324,17 @@ func serveCluster(ds *mamdr.Dataset, model, addrSpec string, embDim int, seed in
 			log.Fatalf("-ps-serve: every shard needs the same replica count (got %v)", groups)
 		}
 	}
+	// Shard servers always carry metrics so the fleet aggregator can
+	// scrape them over the PS.MetricsSnapshot RPC, even when no HTTP
+	// /metrics endpoint was requested.
+	if reg == nil {
+		reg = telemetry.New()
+		obsv.RegisterBuildInfo(reg, "ps")
+	}
 	serving := models.MustNew(model, models.Config{Dataset: ds, EmbDim: embDim, Seed: seed})
 	tables := models.EmbeddingTablesOf(serving)
 	plan := ps.NewPlan(ps.LayoutOf(serving.Parameters(), tables), len(groups), seed)
-	so := cluster.ShardOptions{Replicas: reps, OuterLR: outerLR, Tracer: tracer}
+	so := cluster.ShardOptions{Replicas: reps, OuterLR: outerLR, Tracer: tracer, Metrics: ps.NewMetrics(reg)}
 	if checkpointDir != "" {
 		if err := os.MkdirAll(checkpointDir, 0o755); err != nil {
 			log.Fatal(err)
@@ -332,7 +376,14 @@ func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemet
 	}
 	if tracer != nil {
 		if f := tracer.Flight(); f != nil {
-			tm.Anomalies = telemetry.NewLossWatch(f, 0, 0)
+			// Counting wrapper: every anomaly increments
+			// mamdr_anomalies_total{kind} before the flight recorder
+			// dumps, so the SLO engine can burn-rate on anomalies.
+			var sink telemetry.AnomalySink = f
+			if reg != nil {
+				sink = telemetry.NewCountingSink(f, reg)
+			}
+			tm.Anomalies = telemetry.NewLossWatch(sink, 0, 0)
 		}
 	}
 	opts := ps.Options{

@@ -30,6 +30,10 @@ type ShardOptions struct {
 	// Tracer, when non-nil, is attached to every shard server so
 	// server-side spans join the workers' traces.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, is attached to every shard server so PS
+	// traffic lands in one registry — the registry the shard's RPC
+	// MetricsSnapshot method exports for fleet federation.
+	Metrics *ps.Metrics
 }
 
 func (o ShardOptions) withDefaults() ShardOptions {
@@ -80,6 +84,7 @@ func Shards(params []*autograd.Tensor, plan ps.Plan, o ShardOptions) [][]*ps.Ser
 				srv.SetCheckpointPath(ReplicaCheckpointPath(o.CheckpointPath, sh, plan.NumShards, rep))
 			}
 			srv.SetTracer(o.Tracer)
+			srv.SetMetrics(o.Metrics)
 			out[sh] = append(out[sh], srv)
 		}
 	}

@@ -116,7 +116,7 @@ func TestConnDropAndPartition(t *testing.T) {
 	}
 	want := []verdict{
 		{false, false},
-		{true, false},  // drop@2
+		{true, false}, // drop@2
 		{false, false},
 		{false, false},
 		{true, true}, // partition starts at conn call 5

@@ -213,9 +213,9 @@ func (r *EpochRecorder) Finish(outerSeconds float64) {
 		norms[r.tm.DomainName(d)] = r.norms[i]
 	}
 	fields := map[string]any{
-		"epoch":   epoch,
-		"seconds": time.Since(r.epochStart).Seconds(),
-		"loss":    losses,
+		"epoch":     epoch,
+		"seconds":   time.Since(r.epochStart).Seconds(),
+		"loss":      losses,
 		"grad_norm": norms,
 	}
 	if r.worker >= 0 {

@@ -1,0 +1,73 @@
+package obsv
+
+// dashboardHTML is the self-contained live dashboard served at "/": no
+// external assets, no build step — it polls /metrics/summary and /slo
+// and renders the fleet and its error budgets in place.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>mamdr fleet</title>
+<style>
+  body { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 2rem; background: #0b0e14; color: #d6dbe4; }
+  h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  th, td { padding: .25rem .7rem; border-bottom: 1px solid #232936; text-align: left; }
+  th { color: #8a93a5; font-weight: normal; }
+  .ok { color: #7fd962; } .bad { color: #ff6666; font-weight: bold; }
+  .dim { color: #8a93a5; }
+  #err { color: #ffb454; white-space: pre-wrap; }
+</style>
+</head>
+<body>
+<h1>mamdr fleet observability</h1>
+<div class="dim">last round: <span id="round">–</span> ·
+  alerts fired: <span id="fired">0</span> ·
+  <a href="/metrics" style="color:#59c2ff">federated /metrics</a></div>
+<div id="err"></div>
+<h2>instances</h2>
+<table id="inst"><thead><tr><th>role</th><th>instance</th><th>series</th><th>taken</th></tr></thead><tbody></tbody></table>
+<h2>SLOs</h2>
+<table id="slos"><thead><tr><th>slo</th><th>mode</th><th>bad</th><th>total</th><th>windows (burn / max)</th><th>state</th></tr></thead><tbody></tbody></table>
+<script>
+async function tick() {
+  try {
+    const sum = await (await fetch('/metrics/summary')).json();
+    document.getElementById('round').textContent = sum.last_round;
+    document.getElementById('fired').textContent = sum.alerts_fired;
+    document.getElementById('err').textContent = (sum.scrape_errors || []).join('\n');
+    const it = document.querySelector('#inst tbody'); it.innerHTML = '';
+    for (const i of (sum.instances || [])) {
+      const tr = document.createElement('tr');
+      const taken = new Date(i.taken_unix_nano / 1e6).toLocaleTimeString();
+      for (const v of [i.role, i.instance, i.series, taken]) {
+        const td = document.createElement('td'); td.textContent = v; tr.appendChild(td);
+      }
+      it.appendChild(tr);
+    }
+    const slo = await (await fetch('/slo')).json();
+    const st = document.querySelector('#slos tbody'); st.innerHTML = '';
+    for (const s of (slo.slos || [])) {
+      const tr = document.createElement('tr');
+      const wins = (s.windows || []).map(w => w.window + ': ' + w.burn.toFixed(2) + ' / ' + w.max_burn).join('  ');
+      const cells = [s.name, s.mode, s.bad, s.total || '', wins];
+      for (const v of cells) {
+        const td = document.createElement('td'); td.textContent = v; tr.appendChild(td);
+      }
+      const td = document.createElement('td');
+      td.textContent = s.firing ? 'FIRING' : 'ok';
+      td.className = s.firing ? 'bad' : 'ok';
+      tr.appendChild(td);
+      st.appendChild(tr);
+    }
+  } catch (e) {
+    document.getElementById('err').textContent = 'dashboard: ' + e;
+  }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,69 @@
+package obsv
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mamdr/internal/trace"
+)
+
+// TestProfilerRingBounded pins the ring contract: capture rounds keep
+// producing profiles, but at most Keep files of each kind survive, and
+// the survivors are the newest.
+func TestProfilerRingBounded(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfileOptions{Dir: dir, Keep: 2, CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.CaptureOnce(context.Background())
+	}
+	heaps, _ := filepath.Glob(filepath.Join(dir, "heap-*.pprof"))
+	if len(heaps) != 2 {
+		t.Fatalf("heap ring holds %d files, want 2: %v", len(heaps), heaps)
+	}
+	// Zero-padded sequence numbers: the survivors must be the newest.
+	if filepath.Base(heaps[len(heaps)-1]) != "heap-000005.pprof" {
+		t.Errorf("newest heap profile is %s, want heap-000005.pprof", heaps[len(heaps)-1])
+	}
+	cpus, _ := filepath.Glob(filepath.Join(dir, "cpu-*.pprof"))
+	if len(cpus) > 2 {
+		t.Fatalf("cpu ring holds %d files, want <= 2", len(cpus))
+	}
+	for _, f := range p.Ring() {
+		st, err := os.Stat(f)
+		if err != nil || st.Size() == 0 {
+			t.Errorf("ring file %s empty or unreadable (%v)", f, err)
+		}
+	}
+}
+
+// TestProfilerDumpsWithFlightRecorder wires the profiler into a flight
+// recorder's dump hook: triggering an anomaly must copy the profile
+// ring next to the trace dump.
+func TestProfilerDumpsWithFlightRecorder(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(ProfileOptions{Dir: filepath.Join(dir, "ring"), Keep: 3, CPUDuration: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.CaptureOnce(context.Background())
+
+	fr := trace.NewFlightRecorder(8, filepath.Join(dir, "flight"))
+	fr.SetOnDump(func(d trace.Dump) {
+		p.DumpTo(filepath.Join(dir, "flight-"+d.Kind+"-profiles"))
+	})
+	fr.Trigger("nan_loss", map[string]any{"domain": "a"})
+
+	dumped, _ := filepath.Glob(filepath.Join(dir, "flight-nan_loss-profiles", "*.pprof"))
+	if len(dumped) == 0 {
+		t.Fatal("anomaly dump carried no profiles")
+	}
+	if len(fr.Dumps()) != 1 {
+		t.Fatalf("flight recorder dumps = %d, want 1", len(fr.Dumps()))
+	}
+}

@@ -1,0 +1,418 @@
+package obsv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mamdr/internal/telemetry"
+)
+
+// Selector picks a scalar out of aggregated families: the sum of every
+// matching series. For counters and gauges the series value is used;
+// for histograms the observation count — or, with Above set, only the
+// observations that landed in buckets above that bound, which is how a
+// latency SLO counts "requests slower than X" without storing raw
+// samples.
+type Selector struct {
+	// Families are the family names to sum over.
+	Families []string `json:"families"`
+	// Match keeps only series carrying every listed label. A value
+	// ending in "*" prefix-matches, so code="5*" selects all 5xx
+	// status codes.
+	Match []telemetry.Label `json:"match,omitempty"`
+	// Above, for histogram families, counts only observations in
+	// buckets whose upper bound exceeds it (bucket granularity: a
+	// bucket straddling the threshold counts in full). Zero means the
+	// total observation count.
+	Above float64 `json:"above,omitempty"`
+}
+
+// Eval sums the selector over aggregated families.
+func (sel Selector) Eval(fams []telemetry.FamilySnapshot) float64 {
+	var total float64
+	for _, fam := range fams {
+		if !contains(sel.Families, fam.Name) {
+			continue
+		}
+		for _, se := range fam.Series {
+			if !sel.matches(se.Labels) {
+				continue
+			}
+			switch {
+			case fam.Kind != "histogram":
+				total += se.Value
+			case sel.Above > 0:
+				for i, bound := range fam.Bounds {
+					if bound > sel.Above {
+						total += float64(se.Buckets[i])
+					}
+				}
+				total += float64(se.Buckets[len(fam.Bounds)]) // +Inf overflow
+			default:
+				total += float64(se.Count)
+			}
+		}
+	}
+	return total
+}
+
+func (sel Selector) matches(labels []telemetry.Label) bool {
+	for _, m := range sel.Match {
+		found := false
+		for _, l := range labels {
+			if l.Name != m.Name {
+				continue
+			}
+			if n := len(m.Value); n > 0 && m.Value[n-1] == '*' {
+				found = len(l.Value) >= n-1 && l.Value[:n-1] == m.Value[:n-1]
+			} else {
+				found = l.Value == m.Value
+			}
+			break
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Window is one burn-rate evaluation window. An SLO fires only when
+// EVERY window's burn rate is at or above its MaxBurn — the classic
+// multi-window rule: the long window proves the budget is really
+// burning, the short window proves it is burning right now (and resets
+// fast once the incident ends).
+type Window struct {
+	Duration time.Duration `json:"duration"`
+	MaxBurn  float64       `json:"max_burn"`
+}
+
+// SLO is one declarative objective over the federated series. Two
+// modes:
+//
+//   - Ratio: Total is set. The error ratio Bad/Total is compared to
+//     the budget 1-Objective; burn = ratio / (1-Objective).
+//   - Count: Total is empty. Bad events are budgeted at MaxEvents per
+//     BudgetWindow; burn = observed rate / budget rate.
+type SLO struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description,omitempty"`
+	Bad         Selector `json:"bad"`
+	Total       Selector `json:"total,omitempty"`
+	// Objective is the target good fraction for ratio mode (0.99 =
+	// "99% of requests succeed").
+	Objective float64 `json:"objective,omitempty"`
+	// MaxEvents per BudgetWindow is the count-mode budget.
+	MaxEvents    float64       `json:"max_events,omitempty"`
+	BudgetWindow time.Duration `json:"budget_window,omitempty"`
+	Windows      []Window      `json:"windows,omitempty"`
+}
+
+func (s SLO) ratioMode() bool { return len(s.Total.Families) > 0 }
+
+func (s SLO) withDefaults() SLO {
+	if s.BudgetWindow <= 0 {
+		s.BudgetWindow = time.Hour
+	}
+	if len(s.Windows) == 0 {
+		// Page-tier defaults from the multiwindow burn-rate playbook:
+		// 14.4x burn exhausts a 30-day budget in ~2 days.
+		s.Windows = []Window{{5 * time.Minute, 14.4}, {time.Hour, 14.4}}
+	}
+	return s
+}
+
+// DefaultSLOs covers the fleet's critical paths. Serve SLOs are ratio
+// mode against request traffic; training-side SLOs are count mode —
+// RPC failures, worker deaths, and loss anomalies are budgeted
+// absolute events, not fractions of a denominator that training does
+// not have.
+func DefaultSLOs() []SLO {
+	return []SLO{
+		{
+			Name:        "serve-http-errors",
+			Description: "99% of serve HTTP responses are non-5xx.",
+			Bad: Selector{Families: []string{"mamdr_serve_requests_total"},
+				Match: []telemetry.Label{telemetry.L("code", "5*")}},
+			Total:     Selector{Families: []string{"mamdr_serve_requests_total"}},
+			Objective: 0.99,
+		},
+		{
+			Name:        "serve-latency",
+			Description: "99% of predictions complete within 500ms.",
+			Bad:         Selector{Families: []string{"mamdr_serve_request_seconds"}, Above: 0.5},
+			Total:       Selector{Families: []string{"mamdr_serve_request_seconds"}},
+			Objective:   0.99,
+		},
+		{
+			Name:        "ps-rpc-failures",
+			Description: "Worker-to-PS RPC failures stay within 5 per hour.",
+			Bad:         Selector{Families: []string{"mamdr_ps_rpc_failures_total"}},
+			MaxEvents:   5,
+		},
+		{
+			Name:        "worker-deaths",
+			Description: "At most 1 worker death per hour.",
+			Bad:         Selector{Families: []string{"mamdr_ps_worker_deaths_total"}},
+			MaxEvents:   1,
+		},
+		{
+			Name:        "train-anomalies",
+			Description: "NaN losses and loss spikes stay within 3 per hour.",
+			Bad:         Selector{Families: []string{"mamdr_anomalies_total"}},
+			MaxEvents:   3,
+		},
+	}
+}
+
+// obsPoint is one cumulative observation of an SLO's selectors.
+type obsPoint struct {
+	t          time.Time
+	bad, total float64
+}
+
+// Alert is one rising-edge burn-rate firing.
+type Alert struct {
+	SLO   string             `json:"slo"`
+	Time  time.Time          `json:"time"`
+	Burns map[string]float64 `json:"burns"` // window duration -> burn
+	Bad   float64            `json:"bad"`
+	Total float64            `json:"total,omitempty"`
+}
+
+// WindowStatus is one window's current burn for the /slo endpoint.
+type WindowStatus struct {
+	Window  string  `json:"window"`
+	Burn    float64 `json:"burn"`
+	MaxBurn float64 `json:"max_burn"`
+}
+
+// SLOStatus is one SLO's current state for the /slo endpoint.
+type SLOStatus struct {
+	Name        string         `json:"name"`
+	Description string         `json:"description,omitempty"`
+	Mode        string         `json:"mode"`
+	Firing      bool           `json:"firing"`
+	Bad         float64        `json:"bad"`
+	Total       float64        `json:"total,omitempty"`
+	Windows     []WindowStatus `json:"windows"`
+}
+
+// EvalOptions wires an Evaluator into the process's observability: a
+// registry for the alert counter, an event log for the JSONL audit
+// trail, and an anomaly sink (typically a flight recorder) so every
+// alert ships with recent span history.
+type EvalOptions struct {
+	Registry *telemetry.Registry
+	Events   *telemetry.EventLog
+	Flight   telemetry.AnomalySink
+	// Now is the evaluation clock; nil means time.Now. Tests inject a
+	// fake clock to make burn windows deterministic.
+	Now func() time.Time
+}
+
+// Evaluator burns SLO budgets against successive aggregated snapshots
+// of the fleet. Call Eval after every scrape round; it tracks
+// cumulative selector values over time and applies each SLO's
+// multi-window rule. Safe for concurrent use.
+type Evaluator struct {
+	slos []SLO
+	opts EvalOptions
+
+	mu     sync.Mutex
+	hist   map[string][]obsPoint
+	firing map[string]bool
+	status []SLOStatus
+	fired  int64
+}
+
+// NewEvaluator builds an evaluator over the given SLOs (defaults
+// applied per SLO).
+func NewEvaluator(slos []SLO, opts EvalOptions) *Evaluator {
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	withDefaults := make([]SLO, len(slos))
+	for i, s := range slos {
+		withDefaults[i] = s.withDefaults()
+	}
+	return &Evaluator{
+		slos:   withDefaults,
+		opts:   opts,
+		hist:   map[string][]obsPoint{},
+		firing: map[string]bool{},
+	}
+}
+
+// Eval records one aggregated fleet snapshot and returns the alerts
+// that fired on this evaluation (rising edges only; an SLO that keeps
+// burning does not re-alert until it clears first).
+func (e *Evaluator) Eval(fams []telemetry.FamilySnapshot) []Alert {
+	now := e.opts.Now()
+	var alerts []Alert
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.status = e.status[:0]
+	for _, slo := range e.slos {
+		bad := slo.Bad.Eval(fams)
+		var total float64
+		if slo.ratioMode() {
+			total = slo.Total.Eval(fams)
+		}
+		pts := append(e.hist[slo.Name], obsPoint{t: now, bad: bad, total: total})
+		pts = prune(pts, now.Add(-2*maxWindow(slo.Windows)))
+		e.hist[slo.Name] = pts
+
+		st := SLOStatus{Name: slo.Name, Description: slo.Description, Mode: "count", Bad: bad, Total: total}
+		if slo.ratioMode() {
+			st.Mode = "ratio"
+		}
+		allBurning := true
+		burns := map[string]float64{}
+		for _, w := range slo.Windows {
+			burn := e.burn(slo, pts, now, w.Duration)
+			burns[w.Duration.String()] = burn
+			st.Windows = append(st.Windows, WindowStatus{Window: w.Duration.String(), Burn: burn, MaxBurn: w.MaxBurn})
+			if burn < w.MaxBurn {
+				allBurning = false
+			}
+		}
+
+		was := e.firing[slo.Name]
+		e.firing[slo.Name] = allBurning
+		st.Firing = allBurning
+		e.status = append(e.status, st)
+		switch {
+		case allBurning && !was:
+			e.fired++
+			a := Alert{SLO: slo.Name, Time: now, Burns: burns, Bad: bad, Total: total}
+			alerts = append(alerts, a)
+			e.alertCounter(slo.Name).Inc()
+			fields := map[string]any{"slo": slo.Name, "bad": bad, "total": total}
+			for wd, b := range burns {
+				fields["burn_"+wd] = b
+			}
+			e.opts.Events.Log("slo_burn", fields)
+			if e.opts.Flight != nil {
+				e.opts.Flight.Trigger("slo_"+slo.Name, fields)
+			}
+		case was && !allBurning:
+			e.opts.Events.Log("slo_clear", map[string]any{"slo": slo.Name})
+		}
+	}
+	return alerts
+}
+
+// burn computes one window's burn rate from the cumulative history.
+func (e *Evaluator) burn(slo SLO, pts []obsPoint, now time.Time, window time.Duration) float64 {
+	ref, ok := reference(pts, now.Add(-window))
+	if !ok {
+		return 0
+	}
+	cur := pts[len(pts)-1]
+	dBad := cur.bad - ref.bad
+	if dBad <= 0 {
+		return 0
+	}
+	if slo.ratioMode() {
+		dTotal := cur.total - ref.total
+		if dTotal <= 0 {
+			return 0
+		}
+		budget := 1 - slo.Objective
+		if budget <= 0 {
+			budget = 1e-9
+		}
+		return (dBad / dTotal) / budget
+	}
+	elapsed := cur.t.Sub(ref.t)
+	if elapsed <= 0 {
+		// A single-point history cannot express a rate; treat any bad
+		// event as one budget-window's worth so a cold-started monitor
+		// still reacts to faults it scraped mid-incident.
+		return dBad / slo.MaxEvents
+	}
+	rate := dBad / elapsed.Seconds()
+	budgetRate := slo.MaxEvents / slo.BudgetWindow.Seconds()
+	if budgetRate <= 0 {
+		budgetRate = 1e-9
+	}
+	return rate / budgetRate
+}
+
+// reference returns the newest point at or before cutoff, or the
+// oldest point when history does not yet span the window (the standard
+// partial-window behavior: better an early read than a blind one).
+func reference(pts []obsPoint, cutoff time.Time) (obsPoint, bool) {
+	if len(pts) < 2 {
+		return obsPoint{}, false
+	}
+	ref := pts[0]
+	for _, p := range pts[:len(pts)-1] {
+		if p.t.After(cutoff) {
+			break
+		}
+		ref = p
+	}
+	return ref, true
+}
+
+func prune(pts []obsPoint, cutoff time.Time) []obsPoint {
+	i := 0
+	for i < len(pts)-1 && pts[i].t.Before(cutoff) {
+		i++
+	}
+	return pts[i:]
+}
+
+func maxWindow(ws []Window) time.Duration {
+	var max time.Duration
+	for _, w := range ws {
+		if w.Duration > max {
+			max = w.Duration
+		}
+	}
+	if max <= 0 {
+		max = time.Hour
+	}
+	return max
+}
+
+func (e *Evaluator) alertCounter(slo string) *telemetry.Counter {
+	if e.opts.Registry == nil {
+		return nil
+	}
+	return e.opts.Registry.Counter("mamdr_slo_burn_alerts_total",
+		"SLO burn-rate alerts fired (rising edges), by SLO name.",
+		telemetry.L("slo", slo))
+}
+
+// Status returns every SLO's state as of the last Eval.
+func (e *Evaluator) Status() []SLOStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]SLOStatus(nil), e.status...)
+}
+
+// Fired returns the total rising-edge alerts since construction.
+func (e *Evaluator) Fired() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired
+}
+
+// String renders a one-line summary, used by mamdr-obs's exit report.
+func (a Alert) String() string {
+	return fmt.Sprintf("slo=%s bad=%g total=%g burns=%v", a.SLO, a.Bad, a.Total, a.Burns)
+}

@@ -1,0 +1,201 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mamdr/internal/telemetry"
+)
+
+// fakeSink records anomaly triggers.
+type fakeSink struct {
+	mu    sync.Mutex
+	kinds []string
+}
+
+func (f *fakeSink) Trigger(kind string, _ map[string]any) {
+	f.mu.Lock()
+	f.kinds = append(f.kinds, kind)
+	f.mu.Unlock()
+}
+
+func counterFam(name string, value float64) telemetry.FamilySnapshot {
+	return telemetry.FamilySnapshot{
+		Name: name, Kind: "counter",
+		Series: []telemetry.SeriesSnapshot{{Value: value}},
+	}
+}
+
+// TestCountModeBurnRateDeterministic drives a count-mode SLO through a
+// full incident with a fake clock: quiet, burst (fires once), sustained
+// (no re-fire), recovery (clears), second burst (fires again). The
+// whole sequence is deterministic — no sleeps, no real time.
+func TestCountModeBurnRateDeterministic(t *testing.T) {
+	t0 := time.Unix(1700000000, 0)
+	now := t0
+	clock := func() time.Time { return now }
+
+	reg := telemetry.New()
+	var events bytes.Buffer
+	sink := &fakeSink{}
+	slo := SLO{
+		Name:      "ps-rpc-failures",
+		Bad:       Selector{Families: []string{"mamdr_ps_rpc_failures_total"}},
+		MaxEvents: 5, BudgetWindow: time.Hour,
+		Windows: []Window{{time.Minute, 10}, {5 * time.Minute, 10}},
+	}
+	e := NewEvaluator([]SLO{slo}, EvalOptions{
+		Registry: reg, Events: telemetry.NewEventLog(&events), Flight: sink, Now: clock,
+	})
+
+	eval := func(failures float64) []Alert {
+		return e.Eval([]telemetry.FamilySnapshot{counterFam("mamdr_ps_rpc_failures_total", failures)})
+	}
+
+	// Quiet baseline: two rounds, zero failures, nothing fires.
+	if a := eval(0); len(a) != 0 {
+		t.Fatalf("alert on first-ever eval: %v", a)
+	}
+	now = t0.Add(30 * time.Second)
+	if a := eval(0); len(a) != 0 {
+		t.Fatalf("alert with zero failures: %v", a)
+	}
+
+	// Burst: 60 failures in 60s against a 5/hour budget — burn far
+	// above 10 in both windows. Exactly one rising edge.
+	now = t0.Add(60 * time.Second)
+	alerts := eval(60)
+	if len(alerts) != 1 || alerts[0].SLO != "ps-rpc-failures" {
+		t.Fatalf("burst alerts = %v, want exactly one for ps-rpc-failures", alerts)
+	}
+	for _, w := range []string{"1m0s", "5m0s"} {
+		if alerts[0].Burns[w] < 10 {
+			t.Errorf("window %s burn %v below threshold yet fired", w, alerts[0].Burns[w])
+		}
+	}
+
+	// Sustained: still firing, but no re-alert on a level that stays up.
+	now = t0.Add(90 * time.Second)
+	if a := eval(60); len(a) != 0 {
+		t.Fatalf("re-alert while still firing: %v", a)
+	}
+	if st := e.Status(); !st[0].Firing {
+		t.Fatal("status lost the firing state while burn persists")
+	}
+
+	// Recovery: ten minutes of silence clears the alert.
+	now = t0.Add(10 * time.Minute)
+	if a := eval(60); len(a) != 0 {
+		t.Fatalf("alert during recovery: %v", a)
+	}
+	if st := e.Status(); st[0].Firing {
+		t.Fatal("still firing after burn stopped")
+	}
+
+	// Second incident: the alert re-arms after clearing.
+	now = t0.Add(11 * time.Minute)
+	if a := eval(120); len(a) != 1 {
+		t.Fatalf("second burst alerts = %v, want one", a)
+	}
+
+	if got := e.Fired(); got != 2 {
+		t.Errorf("Fired() = %d, want 2", got)
+	}
+	if got := reg.Counter("mamdr_slo_burn_alerts_total",
+		"SLO burn-rate alerts fired (rising edges), by SLO name.",
+		telemetry.L("slo", "ps-rpc-failures")).Value(); got != 2 {
+		t.Errorf("mamdr_slo_burn_alerts_total = %d, want 2", got)
+	}
+	logged := events.String()
+	if strings.Count(logged, `"event":"slo_burn"`) != 2 {
+		t.Errorf("event log should carry two slo_burn events:\n%s", logged)
+	}
+	if !strings.Contains(logged, `"event":"slo_clear"`) {
+		t.Errorf("event log missing slo_clear:\n%s", logged)
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.kinds) != 2 || sink.kinds[0] != "slo_ps-rpc-failures" {
+		t.Errorf("flight triggers = %v, want two slo_ps-rpc-failures", sink.kinds)
+	}
+}
+
+// TestRatioModeWithWildcardMatch pins ratio-mode burn math and the
+// "5*" status-code wildcard over labeled series.
+func TestRatioModeWithWildcardMatch(t *testing.T) {
+	t0 := time.Unix(1700000000, 0)
+	now := t0
+	slo := SLO{
+		Name: "serve-http-errors",
+		Bad: Selector{Families: []string{"mamdr_serve_requests_total"},
+			Match: []telemetry.Label{telemetry.L("code", "5*")}},
+		Total:     Selector{Families: []string{"mamdr_serve_requests_total"}},
+		Objective: 0.99,
+		Windows:   []Window{{time.Minute, 2}},
+	}
+	e := NewEvaluator([]SLO{slo}, EvalOptions{Now: func() time.Time { return now }})
+
+	fams := func(ok, errs float64) []telemetry.FamilySnapshot {
+		return []telemetry.FamilySnapshot{{
+			Name: "mamdr_serve_requests_total", Kind: "counter",
+			Series: []telemetry.SeriesSnapshot{
+				{Labels: []telemetry.Label{telemetry.L("code", "200")}, Value: ok},
+				{Labels: []telemetry.Label{telemetry.L("code", "503")}, Value: errs},
+			},
+		}}
+	}
+
+	e.Eval(fams(1000, 0))
+	// 4% errors against a 1% budget = burn ~4, over the threshold of 2.
+	now = t0.Add(time.Minute)
+	if a := e.Eval(fams(1960, 40)); len(a) != 1 {
+		t.Fatalf("4x budget burn did not fire: %v", a)
+	}
+	// 0.5% errors = burn ~0.5: clears.
+	now = t0.Add(2 * time.Minute)
+	e.Eval(fams(2955, 45))
+	if st := e.Status(); st[0].Firing {
+		t.Error("sub-budget error ratio still firing")
+	}
+}
+
+// TestSelectorHistogramAbove pins the latency-SLO selector: Above
+// counts only observations in buckets beyond the threshold.
+func TestSelectorHistogramAbove(t *testing.T) {
+	fam := telemetry.FamilySnapshot{
+		Name: "mamdr_serve_request_seconds", Kind: "histogram",
+		Bounds: []float64{0.1, 0.5, 1},
+		Series: []telemetry.SeriesSnapshot{{
+			Buckets: []int64{10, 5, 3, 2}, // ≤0.1, ≤0.5, ≤1, +Inf
+			Count:   20, Sum: 9,
+		}},
+	}
+	sel := Selector{Families: []string{"mamdr_serve_request_seconds"}, Above: 0.5}
+	if got := sel.Eval([]telemetry.FamilySnapshot{fam}); got != 5 {
+		t.Errorf("Above=0.5 counted %v observations, want 5 (bucket ≤1 plus +Inf)", got)
+	}
+	total := Selector{Families: []string{"mamdr_serve_request_seconds"}}
+	if got := total.Eval([]telemetry.FamilySnapshot{fam}); got != 20 {
+		t.Errorf("total count = %v, want 20", got)
+	}
+}
+
+// TestDefaultSLOsAreWellFormed keeps the shipped SLO set evaluable:
+// every SLO survives defaulting and a no-data eval without firing.
+func TestDefaultSLOsAreWellFormed(t *testing.T) {
+	e := NewEvaluator(DefaultSLOs(), EvalOptions{})
+	if a := e.Eval(nil); len(a) != 0 {
+		t.Fatalf("default SLOs fired with no data: %v", a)
+	}
+	for _, st := range e.Status() {
+		if st.Firing {
+			t.Errorf("SLO %s firing with no data", st.Name)
+		}
+		if len(st.Windows) == 0 {
+			t.Errorf("SLO %s has no burn windows after defaulting", st.Name)
+		}
+	}
+}

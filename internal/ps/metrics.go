@@ -77,6 +77,16 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	}
 }
 
+// Registry returns the registry the metrics mirror into (nil for a
+// disabled Metrics). The PS RPC surface uses it to export snapshots of
+// the whole process registry for fleet federation.
+func (m *Metrics) Registry() *telemetry.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
 // observePushFailure counts one push that failed after exhausting its
 // retry budget (push_failures_total).
 func (m *Metrics) observePushFailure() {

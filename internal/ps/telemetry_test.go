@@ -1,8 +1,8 @@
 package ps
 
 import (
-	"context"
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"sync"

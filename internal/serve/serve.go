@@ -68,6 +68,12 @@ type Options struct {
 	// tracer's flight recorder when a prediction times out waiting for
 	// a replica.
 	Tracer *trace.Tracer
+	// Upstream, when non-nil, reports the health of the snapshot
+	// source backing this server — PS/shard connectivity when the
+	// state was loaded from a cluster. /readyz consults it after the
+	// local checks, so a replica whose upstream is gone drops out of
+	// the load balancer before it starts serving stale predictions.
+	Upstream func() error
 }
 
 func (o Options) withDefaults() Options {
@@ -275,6 +281,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReady)
 	if s.opts.Metrics != nil {
 		mux.Handle("/metrics", s.opts.Metrics.Handler())
+		mux.Handle("/metrics/snapshot", telemetry.SnapshotHandler("serve", "", s.opts.Metrics))
 	}
 	if s.opts.Tracer != nil {
 		mux.Handle("/debug/trace", trace.CaptureHandler(s.opts.Tracer))
@@ -295,6 +302,12 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	case len(s.pool) == 0:
 		http.Error(w, "replica pool saturated", http.StatusServiceUnavailable)
 	default:
+		if s.opts.Upstream != nil {
+			if err := s.opts.Upstream(); err != nil {
+				http.Error(w, "upstream: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
 		fmt.Fprintln(w, "ready")
 	}
 }

@@ -3,11 +3,13 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -510,5 +512,86 @@ func TestReadyzReportsPoolSaturation(t *testing.T) {
 	s.pool <- r
 	if w := get(); w.Code != http.StatusOK {
 		t.Fatalf("readyz after replica returned = %d, want 200", w.Code)
+	}
+}
+
+// TestReadyzReportsUpstreamHealth pins the cluster-backed readiness
+// contract: a server whose snapshot source (PS shards) goes away must
+// fail /readyz with the upstream reason, and recover when connectivity
+// returns. /healthz stays green throughout — the process is fine, its
+// upstream is not.
+func TestReadyzReportsUpstreamHealth(t *testing.T) {
+	st, ds, _ := testState(t)
+	upErr := atomic.Pointer[string]{}
+	s := NewWithOptions(st, ds, Options{Upstream: func() error {
+		if msg := upErr.Load(); msg != nil {
+			return errors.New(*msg)
+		}
+		return nil
+	}})
+	h := s.Handler()
+	get := func(path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz with healthy upstream = %d, want 200", w.Code)
+	}
+
+	msg := "shard 1: connection refused"
+	upErr.Store(&msg)
+	w := get("/readyz")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with dead upstream = %d, want 503", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "upstream: shard 1") {
+		t.Fatalf("upstream reason missing: %q", w.Body.String())
+	}
+	if wh := get("/healthz"); wh.Code != http.StatusOK {
+		t.Fatalf("healthz with dead upstream = %d, want 200", wh.Code)
+	}
+
+	upErr.Store(nil)
+	if w := get("/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("readyz after upstream recovery = %d, want 200", w.Code)
+	}
+}
+
+// TestMetricsSnapshotEndpoint pins the federation surface: a serve
+// process with metrics enabled exports a valid versioned snapshot at
+// /metrics/snapshot, tagged role=serve.
+func TestMetricsSnapshotEndpoint(t *testing.T) {
+	st, ds, _ := testState(t)
+	reg := telemetry.New()
+	s := NewWithOptions(st, ds, Options{Metrics: reg})
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics/snapshot", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("snapshot endpoint = %d, want 200", w.Code)
+	}
+	var snap telemetry.RegistrySnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Role != "serve" {
+		t.Fatalf("snapshot role = %q, want serve", snap.Role)
+	}
+	found := false
+	for _, f := range snap.Families {
+		if f.Name == "mamdr_serve_requests_total" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("snapshot missing the request counter family")
 	}
 }

@@ -15,6 +15,35 @@ type AnomalySink interface {
 	Trigger(kind string, fields map[string]any)
 }
 
+// CountingSink forwards anomaly triggers to an inner sink while
+// counting them per kind in mamdr_anomalies_total, so anomaly volume
+// becomes a federated series that SLOs can burn against — the flight
+// recorder's once-per-kind dump latch hides repetition that an error
+// budget must see.
+type CountingSink struct {
+	inner AnomalySink
+	reg   *Registry
+}
+
+// NewCountingSink wraps inner (which may be nil for count-only use),
+// counting triggers as mamdr_anomalies_total{kind=...} on reg.
+func NewCountingSink(inner AnomalySink, reg *Registry) *CountingSink {
+	return &CountingSink{inner: inner, reg: reg}
+}
+
+// Trigger implements AnomalySink.
+func (c *CountingSink) Trigger(kind string, fields map[string]any) {
+	if c == nil {
+		return
+	}
+	c.reg.Counter("mamdr_anomalies_total",
+		"Training anomalies observed, by kind (nan_loss, loss_spike, ...).",
+		L("kind", kind)).Inc()
+	if c.inner != nil {
+		c.inner.Trigger(kind, fields)
+	}
+}
+
 // LossWatch detects training-loss anomalies per domain: NaN or Inf
 // losses fire immediately ("nan_loss"); finite losses feed a running
 // mean/variance (Welford) and fire "loss_spike" when a loss lands

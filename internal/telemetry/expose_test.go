@@ -5,9 +5,10 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"sort"
-	"strconv"
 	"strings"
 	"testing"
+
+	"mamdr/internal/telemetry/promtest"
 )
 
 // buildTestRegistry assembles one of every instrument shape, including
@@ -70,205 +71,7 @@ func TestExpositionParses(t *testing.T) {
 	if err := buildTestRegistry().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	validateExposition(t, buf.String())
-}
-
-// validateExposition is the reusable line-by-line checker; other
-// packages replicate its core checks against live /metrics endpoints.
-func validateExposition(t *testing.T, text string) {
-	t.Helper()
-	type fam struct {
-		kind     string
-		samples  int
-		buckets  map[string][]float64 // histogram: series sig -> cumulative counts
-		sumCount map[string][2]float64
-		infSeen  map[string]float64
-	}
-	families := map[string]*fam{}
-	var lastHelp string
-	var current string
-
-	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
-	for ln, line := range lines {
-		switch {
-		case strings.HasPrefix(line, "# HELP "):
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, _, ok := strings.Cut(rest, " ")
-			if !ok {
-				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
-			}
-			if _, dup := families[name]; dup {
-				t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
-			}
-			lastHelp = name
-		case strings.HasPrefix(line, "# TYPE "):
-			rest := strings.TrimPrefix(line, "# TYPE ")
-			parts := strings.Fields(rest)
-			if len(parts) != 2 {
-				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
-			}
-			name, kind := parts[0], parts[1]
-			if name != lastHelp {
-				t.Fatalf("line %d: TYPE %s not preceded by its HELP (last HELP %s)", ln+1, name, lastHelp)
-			}
-			if kind != "counter" && kind != "gauge" && kind != "histogram" {
-				t.Fatalf("line %d: unknown kind %q", ln+1, kind)
-			}
-			families[name] = &fam{kind: kind,
-				buckets: map[string][]float64{}, sumCount: map[string][2]float64{}, infSeen: map[string]float64{}}
-			current = name
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
-		default:
-			name, labels, value := parseSample(t, ln+1, line)
-			base := name
-			suffix := ""
-			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
-				if f, ok := families[strings.TrimSuffix(name, sfx)]; ok && f.kind == "histogram" && strings.HasSuffix(name, sfx) {
-					base, suffix = strings.TrimSuffix(name, sfx), sfx
-					break
-				}
-			}
-			f, ok := families[base]
-			if !ok {
-				t.Fatalf("line %d: sample %s before its TYPE", ln+1, name)
-			}
-			if base != current {
-				t.Fatalf("line %d: sample for %s interleaved into family %s", ln+1, base, current)
-			}
-			if f.kind == "histogram" && suffix == "" {
-				t.Fatalf("line %d: bare sample %s for histogram family", ln+1, name)
-			}
-			f.samples++
-			if f.kind != "histogram" {
-				continue
-			}
-			le, sig := splitLE(labels)
-			switch suffix {
-			case "_bucket":
-				if le == "" {
-					t.Fatalf("line %d: bucket without le label", ln+1)
-				}
-				if le == "+Inf" {
-					f.infSeen[sig] = value
-					break
-				}
-				prev := f.buckets[sig]
-				if len(prev) > 0 && value < prev[len(prev)-1] {
-					t.Fatalf("line %d: bucket counts not cumulative: %v then %g", ln+1, prev, value)
-				}
-				f.buckets[sig] = append(prev, value)
-			case "_sum":
-				sc := f.sumCount[sig]
-				sc[0] = value
-				f.sumCount[sig] = sc
-			case "_count":
-				sc := f.sumCount[sig]
-				sc[1] = value
-				f.sumCount[sig] = sc
-			}
-		}
-	}
-	for name, f := range families {
-		if f.samples == 0 {
-			t.Errorf("family %s declared but has no samples", name)
-		}
-		for sig, inf := range f.infSeen {
-			if cum := f.buckets[sig]; len(cum) > 0 && cum[len(cum)-1] > inf {
-				t.Errorf("%s{%s}: finite bucket %g exceeds +Inf bucket %g", name, sig, cum[len(cum)-1], inf)
-			}
-			if sc := f.sumCount[sig]; sc[1] != inf {
-				t.Errorf("%s{%s}: _count %g != +Inf bucket %g", name, sig, sc[1], inf)
-			}
-		}
-	}
-}
-
-// parseSample splits `name{labels} value`, checking label quoting.
-func parseSample(t *testing.T, ln int, line string) (name, labels string, value float64) {
-	t.Helper()
-	rest := line
-	if i := strings.IndexByte(line, '{'); i >= 0 {
-		j := strings.LastIndexByte(line, '}')
-		if j < i {
-			t.Fatalf("line %d: unbalanced braces: %q", ln, line)
-		}
-		name, labels, rest = line[:i], line[i+1:j], line[j+1:]
-		for _, pair := range splitLabelPairs(labels) {
-			k, v, ok := strings.Cut(pair, "=")
-			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
-				t.Fatalf("line %d: malformed label pair %q", ln, pair)
-			}
-			if k == "" {
-				t.Fatalf("line %d: empty label name in %q", ln, pair)
-			}
-			inner := v[1 : len(v)-1]
-			for i := 0; i < len(inner); i++ {
-				switch inner[i] {
-				case '\\':
-					if i+1 >= len(inner) || !strings.ContainsRune(`\"n`, rune(inner[i+1])) {
-						t.Fatalf("line %d: bad escape in label value %q", ln, inner)
-					}
-					i++
-				case '"', '\n':
-					t.Fatalf("line %d: unescaped %q in label value %q", ln, inner[i], inner)
-				}
-			}
-		}
-	} else {
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			t.Fatalf("line %d: malformed sample %q", ln, line)
-		}
-		name, rest = fields[0], fields[1]
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(rest, " ")), 64)
-	if err != nil && strings.TrimSpace(rest) != "+Inf" {
-		t.Fatalf("line %d: bad value in %q: %v", ln, line, err)
-	}
-	return name, labels, v
-}
-
-// splitLE extracts the le label from a label block, returning its value
-// and the remaining pairs as the series signature.
-func splitLE(labels string) (le, sig string) {
-	var rest []string
-	for _, pair := range splitLabelPairs(labels) {
-		if v, ok := strings.CutPrefix(pair, `le="`); ok {
-			le = strings.TrimSuffix(v, `"`)
-			continue
-		}
-		rest = append(rest, pair)
-	}
-	return le, strings.Join(rest, ",")
-}
-
-// splitLabelPairs splits on commas outside quoted values.
-func splitLabelPairs(s string) []string {
-	var out []string
-	var b strings.Builder
-	inQuote := false
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		switch {
-		case c == '\\' && inQuote && i+1 < len(s):
-			b.WriteByte(c)
-			i++
-			b.WriteByte(s[i])
-		case c == '"':
-			inQuote = !inQuote
-			b.WriteByte(c)
-		case c == ',' && !inQuote:
-			out = append(out, b.String())
-			b.Reset()
-		default:
-			b.WriteByte(c)
-		}
-	}
-	if b.Len() > 0 {
-		out = append(out, b.String())
-	}
-	return out
+	promtest.Validate(t, buf.String())
 }
 
 func TestHandlerContentType(t *testing.T) {

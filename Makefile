@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster smoke-obs ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster smoke-obs smoke-quality ci check
 
 all: check
 
@@ -105,6 +105,48 @@ smoke-obs:
 	grep -E 'alerts_fired=0' /tmp/obs-clean.txt
 	@echo "ok: faulted run fired, clean run quiet"
 
+# The CI quality-smoke job locally: one serving process with streaming
+# model-quality tracking, observed by mamdr-obs. Matched traffic
+# (val+test replayed with true labels) must fire no alert; drifted
+# traffic (fixed items, inverted labels) must burn the quality SLOs and
+# flip /quality to no-go.
+smoke-quality:
+	$(GO) build -o /tmp/mamdr-bin/ ./cmd/mamdr-serve ./cmd/mamdr-obs ./cmd/datagen
+	/tmp/mamdr-bin/datagen -preset amazon-6 -samples 3000 -seed 11 -out /tmp/quality-ds.json
+	/tmp/mamdr-bin/mamdr-serve -preset amazon-6 -samples 3000 -seed 11 -epochs 8 \
+		-addr 127.0.0.1:8085 -access-log off \
+		>/tmp/quality-serve.log 2>&1 & echo $$! > /tmp/quality-serve.pid
+	for i in `seq 90`; do curl -sf 127.0.0.1:8085/healthz >/dev/null 2>&1 && break; \
+		kill -0 `cat /tmp/quality-serve.pid` || { cat /tmp/quality-serve.log; exit 1; }; sleep 1; done
+	grep 'quality baseline' /tmp/quality-serve.log
+	/tmp/mamdr-bin/mamdr-obs -scrape serve=127.0.0.1:8085 \
+		-interval 500ms -run-for 15s -slo-fast -addr 127.0.0.1:9610 \
+		>/tmp/quality-control.txt 2>&1 & \
+	sleep 0.7; \
+	python3 scripts/quality_traffic.py --base http://127.0.0.1:8085 \
+		--data /tmp/quality-ds.json --mode control --repeat 8; \
+	wait
+	grep -E 'alerts_fired=0' /tmp/quality-control.txt
+	/tmp/mamdr-bin/mamdr-obs -scrape serve=127.0.0.1:8085 \
+		-interval 500ms -run-for 15s -slo-fast -addr 127.0.0.1:9611 \
+		-events /tmp/quality-events.jsonl >/tmp/quality-drift.txt 2>&1 & \
+	sleep 0.7; \
+	python3 scripts/quality_traffic.py --base http://127.0.0.1:8085 \
+		--data /tmp/quality-ds.json --mode drift --repeat 8; \
+	sleep 3; curl -s 127.0.0.1:9611/quality > /tmp/quality-report.json; \
+	wait
+	kill `cat /tmp/quality-serve.pid`
+	grep -E 'alerts_fired=[1-9]' /tmp/quality-drift.txt
+	grep '"slo":"quality-psi-drift"' /tmp/quality-events.jsonl >/dev/null
+	grep '"slo":"quality-auc-floor"' /tmp/quality-events.jsonl >/dev/null
+	python3 -c "import json; r=json.load(open('/tmp/quality-report.json')); \
+		assert not r['go'], 'drift run still reports go'; \
+		assert any(s.startswith('quality-') for s in r['firing']), r['firing']; \
+		w=r['worst_by_psi'][0]; \
+		assert max(w['score_psi'], w['label_psi']) > 0.25, w; \
+		print('ok: drift fired', r['firing'], 'worst domain', w['domain'])"
+	@echo "ok: matched traffic quiet, drifted traffic fired the quality SLOs"
+
 # The PS, cluster, and serving paths are the concurrent hot spots; keep
 # them race-clean.
 race:
@@ -146,5 +188,6 @@ ci:
 	$(MAKE) smoke-chaos
 	$(MAKE) smoke-cluster
 	$(MAKE) smoke-obs
+	$(MAKE) smoke-quality
 
 check: vet build test race

@@ -29,9 +29,12 @@ import (
 	"mamdr/internal/autograd/kernels"
 	"mamdr/internal/cluster"
 	"mamdr/internal/core"
+	"mamdr/internal/data"
+	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/obsv"
 	"mamdr/internal/ps"
+	"mamdr/internal/quality"
 	"mamdr/internal/serve"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
@@ -55,6 +58,10 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests")
 		embDim        = flag.Int("emb", 8, "embedding dimension (must match the cluster's -emb when -ps-addrs is set)")
 		psAddrs       = flag.String("ps-addrs", "", "comma-separated shard-server addresses (replicas of one shard joined with '|'): load the shared parameters from the running cluster and report its connectivity in /readyz")
+
+		withQuality   = flag.Bool("quality", true, "streaming model-quality tracking: /feedback label joins, drift detection vs the checkpoint baseline, quality SLO breach counters (needs -metrics)")
+		qualityWindow = flag.Int("quality-window", 0, "labeled prequential-evaluation window per domain (0 = default)")
+		feedbackTTL   = flag.Duration("feedback-ttl", 0, "how long /predict scores wait in the join buffer for /feedback labels (0 = default 2m)")
 
 		withMetrics = flag.Bool("metrics", true, "expose Prometheus /metrics and instrument the request path")
 		withPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -87,10 +94,13 @@ func main() {
 	if !ok {
 		log.Fatalf("predictor is %T, want *core.State", res.Predictor)
 	}
+	var ckptBaseline *quality.Baseline
 	if *checkpoint != "" {
-		if err := state.Load(*checkpoint); err != nil {
+		b, err := state.LoadWithBaseline(*checkpoint)
+		if err != nil {
 			log.Fatal(err)
 		}
+		ckptBaseline = b
 		log.Printf("loaded checkpoint %s", *checkpoint)
 	} else {
 		log.Printf("trained %s on %s: mean test AUC %.4f", *model, ds.Name, res.MeanTestAUC)
@@ -163,6 +173,27 @@ func main() {
 		log.Printf("continuous profiling to %s every %s", *profileDir, *profileInterval)
 	}
 
+	// Model-quality tracking: the drift baseline comes from the
+	// checkpoint envelope when one is loaded; otherwise it is profiled
+	// from the validation split of the model this process just trained.
+	// A pre-quality (v2) checkpoint carries no baseline — serving
+	// continues with drift detection disabled, logged and counted.
+	var tracker *quality.Tracker
+	if *withQuality && reg != nil {
+		tracker = quality.NewTracker(reg, quality.Options{Checks: true, Window: *qualityWindow})
+		switch {
+		case ckptBaseline != nil:
+			tracker.SetBaseline(ckptBaseline)
+			log.Printf("quality baseline loaded from checkpoint (%d domains)", len(ckptBaseline.Domains))
+		case *checkpoint != "":
+			tracker.SetBaseline(nil)
+			log.Printf("pre-quality checkpoint: drift detection disabled (re-save with a baseline to enable)")
+		default:
+			tracker.SetBaseline(framework.QualityBaseline(state, ds, data.Val))
+			log.Printf("quality baseline profiled from the validation split")
+		}
+	}
+
 	srv := serve.NewWithOptions(state, ds, serve.Options{
 		Replicas:       *replicas,
 		RequestTimeout: *timeout,
@@ -170,6 +201,8 @@ func main() {
 		AccessLog:      logger,
 		Tracer:         tracer,
 		Upstream:       upstream,
+		Quality:        tracker,
+		FeedbackTTL:    *feedbackTTL,
 		// Replicas mirror the trained model's structure (same Config,
 		// including Seed); their initial weights are irrelevant because
 		// every prediction restores a precomposed snapshot first.

@@ -29,6 +29,7 @@ import (
 	"mamdr"
 	"mamdr/internal/autograd/kernels"
 	"mamdr/internal/cluster"
+	"mamdr/internal/core"
 	"mamdr/internal/data"
 	"mamdr/internal/faultinject"
 	"mamdr/internal/framework"
@@ -36,6 +37,7 @@ import (
 	"mamdr/internal/models"
 	"mamdr/internal/obsv"
 	"mamdr/internal/ps"
+	"mamdr/internal/quality"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
 )
@@ -87,6 +89,7 @@ func main() {
 		checkpointDir   = flag.String("checkpoint-dir", "", "write crash-safe epoch-boundary checkpoints into this directory")
 		checkpointEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in epochs (with -checkpoint-dir)")
 		resume          = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run under the same seed)")
+		savePath        = flag.String("save", "", "save the trained state with a quality baseline profiled on the validation split (loadable by mamdr-serve -checkpoint)")
 	)
 	flag.Parse()
 	kernels.SetThreads(*kernelThreads)
@@ -196,6 +199,7 @@ func main() {
 	start := time.Now()
 	var (
 		valAUC, testAUC []float64
+		pred            framework.Predictor
 	)
 	if *psWorkers > 0 {
 		// An explicit -ps-shards — even "-ps-shards 1" — opts into the
@@ -211,7 +215,7 @@ func main() {
 		})
 		fmt.Printf("training %s with distributed mamdr (%d workers, %d shards, cache=%v) for %d epochs...\n",
 			*model, *psWorkers, *psShards, *psCache, *epochs)
-		valAUC, testAUC = trainDistributed(ds, *model, trainOpts{
+		valAUC, testAUC, pred = trainDistributed(ds, *model, trainOpts{
 			workers: *psWorkers, shards: shards, replicas: *replicas, cache: *psCache,
 			epochs: *epochs, batch: *batch, innerLR: *innerLR, outerLR: *outerLR,
 			drLR: *drLR, sampleK: *sampleK, embDim: *embDim, seed: *seed,
@@ -244,8 +248,32 @@ func main() {
 			log.Fatal(err)
 		}
 		valAUC, testAUC = res.ValAUC, res.TestAUC
+		pred = res.Predictor
 	}
 	fmt.Printf("trained in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Trainer-side quality emission: run the final model over the
+	// validation split through a passive quality tracker (no breach
+	// counting — that is a serving-side concern), so offline eval lands
+	// on the same mamdr_quality_* series the serving fleet emits and a
+	// final /metrics scrape federates both under one schema.
+	if reg != nil && pred != nil {
+		framework.EmitQuality(quality.NewTracker(reg, quality.Options{}), pred, ds, data.Val)
+	}
+
+	// -save freezes the trained state plus its validation-time quality
+	// profile into one envelope; mamdr-serve -checkpoint loads both and
+	// detects drift against the profile.
+	if *savePath != "" {
+		st, ok := pred.(*core.State)
+		if !ok {
+			log.Fatalf("-save: predictor is %T, want *core.State (framework %q does not produce a saveable state)", pred, *fw)
+		}
+		if err := st.SaveWithBaseline(*savePath, framework.QualityBaseline(st, ds, data.Val)); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved state + quality baseline to %s", *savePath)
+	}
 
 	if exporter != nil {
 		if err := exporter.Close(); err != nil {
@@ -360,7 +388,7 @@ func serveCluster(ds *mamdr.Dataset, model, addrSpec string, embDim int, seed in
 // deployment shape) with full telemetry: PS traffic, cache hit ratio,
 // row staleness, the per-domain training series from every worker, and
 // (with a tracer) one trace per worker epoch plus anomaly watching.
-func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemetry.Registry, events *telemetry.EventLog, tracer *trace.Tracer) (val, test []float64) {
+func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemetry.Registry, events *telemetry.EventLog, tracer *trace.Tracer) (val, test []float64, st *core.State) {
 	replica := func() models.Model {
 		return models.MustNew(model, models.Config{Dataset: ds, EmbDim: o.embDim, Seed: o.seed})
 	}
@@ -429,7 +457,7 @@ func trainDistributed(ds *mamdr.Dataset, model string, o trainOpts, reg *telemet
 	if res.WorkerDeaths > 0 {
 		log.Printf("supervision: %d worker death(s); domains redistributed to survivors", res.WorkerDeaths)
 	}
-	return framework.EvaluateAUC(res.State, ds, data.Val), framework.EvaluateAUC(res.State, ds, data.Test)
+	return framework.EvaluateAUC(res.State, ds, data.Val), framework.EvaluateAUC(res.State, ds, data.Test), res.State
 }
 
 // trainCluster runs the distributed trainer against a partitioned

@@ -13,6 +13,7 @@ import (
 
 	"mamdr/internal/optim"
 	"mamdr/internal/paramvec"
+	"mamdr/internal/quality"
 )
 
 // Checkpoint files are written crash-safely: the payload is gob-encoded
@@ -24,9 +25,15 @@ import (
 const (
 	// checkpointMagic opens every checkpoint file (8 bytes).
 	checkpointMagic = "MAMDRCKP"
-	// checkpointVersion is bumped on incompatible envelope/payload
-	// changes; loaders reject other versions loudly.
-	checkpointVersion uint32 = 2
+	// checkpointVersion is the envelope version this build writes,
+	// bumped on envelope/payload changes; v3 added the optional
+	// quality-baseline block to Checkpoint payloads.
+	checkpointVersion uint32 = 3
+	// checkpointMinVersion is the oldest envelope this build still
+	// reads. v2 (pre-quality) payloads decode with a nil Quality
+	// baseline — drift detection is disabled, not fatal. Versions
+	// outside [min, current] are rejected loudly.
+	checkpointMinVersion uint32 = 2
 )
 
 // headerLen is magic(8) + version(4) + payload length(8) + crc32(4).
@@ -90,38 +97,51 @@ func SaveGob(path string, v any) error {
 // envelope before decoding: wrong magic, a truncated payload, or a
 // CRC mismatch all fail with an error wrapping ErrCorruptCheckpoint.
 func LoadGob(path string, v any) error {
+	_, err := LoadGobVersion(path, v)
+	return err
+}
+
+// LoadGobVersion is LoadGob returning the envelope version the file was
+// written with, so callers can negotiate payload capabilities: any
+// version in [checkpointMinVersion, checkpointVersion] is accepted —
+// gob's field-by-name decoding leaves fields absent from older payloads
+// at their zero value (e.g. a v2 checkpoint yields a nil quality
+// baseline) — and versions outside that range fail loudly.
+func LoadGobVersion(path string, v any) (uint32, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return fmt.Errorf("core: open %s: %w", path, err)
+		return 0, fmt.Errorf("core: open %s: %w", path, err)
 	}
 	defer f.Close()
 
 	var head [headerLen]byte
 	if _, err := io.ReadFull(f, head[:]); err != nil {
-		return fmt.Errorf("core: %s: header unreadable (%v): %w", path, err, ErrCorruptCheckpoint)
+		return 0, fmt.Errorf("core: %s: header unreadable (%v): %w", path, err, ErrCorruptCheckpoint)
 	}
 	if string(head[:8]) != checkpointMagic {
-		return fmt.Errorf("core: %s: not a MAMDR checkpoint (bad magic): %w", path, ErrCorruptCheckpoint)
+		return 0, fmt.Errorf("core: %s: not a MAMDR checkpoint (bad magic): %w", path, ErrCorruptCheckpoint)
 	}
-	if ver := binary.LittleEndian.Uint32(head[8:12]); ver != checkpointVersion {
-		return fmt.Errorf("core: %s: checkpoint format v%d, this build reads v%d", path, ver, checkpointVersion)
+	ver := binary.LittleEndian.Uint32(head[8:12])
+	if ver < checkpointMinVersion || ver > checkpointVersion {
+		return 0, fmt.Errorf("core: %s: checkpoint format v%d, this build reads v%d..v%d",
+			path, ver, checkpointMinVersion, checkpointVersion)
 	}
 	want := binary.LittleEndian.Uint64(head[12:20])
 	payload, err := io.ReadAll(f)
 	if err != nil {
-		return fmt.Errorf("core: read %s: %w", path, err)
+		return 0, fmt.Errorf("core: read %s: %w", path, err)
 	}
 	if uint64(len(payload)) != want {
-		return fmt.Errorf("core: %s: payload is %d bytes, header promises %d (truncated write?): %w",
+		return 0, fmt.Errorf("core: %s: payload is %d bytes, header promises %d (truncated write?): %w",
 			path, len(payload), want, ErrCorruptCheckpoint)
 	}
 	if crc := crc32.ChecksumIEEE(payload); crc != binary.LittleEndian.Uint32(head[20:24]) {
-		return fmt.Errorf("core: %s: CRC mismatch (corrupted on disk): %w", path, ErrCorruptCheckpoint)
+		return 0, fmt.Errorf("core: %s: CRC mismatch (corrupted on disk): %w", path, ErrCorruptCheckpoint)
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
-		return fmt.Errorf("core: decode %s: %w: %v", path, ErrCorruptCheckpoint, err)
+		return 0, fmt.Errorf("core: decode %s: %w: %v", path, ErrCorruptCheckpoint, err)
 	}
-	return nil
+	return ver, nil
 }
 
 // Checkpoint is the serializable form of a trained MAMDR state: the
@@ -144,16 +164,31 @@ type Checkpoint struct {
 	// Outer is the DN outer optimizer's accumulated state at the epoch
 	// boundary (empty when Epoch is -1 or the optimizer is stateless).
 	Outer optim.State
+	// Quality is the model's quality baseline — per-domain validation
+	// score distributions and eval metrics — frozen at save time so
+	// serving can measure live-traffic drift against it. Nil in v2
+	// (pre-quality) checkpoints and in saves that skipped profiling;
+	// loaders treat nil as "drift detection disabled", never an error.
+	Quality *quality.Baseline
 }
 
 // Save writes the state's parameters to path crash-safely (atomic
-// temp-file + rename, versioned and CRC-guarded envelope).
+// temp-file + rename, versioned and CRC-guarded envelope), with no
+// quality baseline.
 func (s *State) Save(path string) error {
+	return s.SaveWithBaseline(path, nil)
+}
+
+// SaveWithBaseline is Save with a quality baseline frozen into the
+// envelope, so a serving process loading this checkpoint can detect
+// score/label drift against the model's validation-time profile.
+func (s *State) SaveWithBaseline(path string, b *quality.Baseline) error {
 	return SaveGob(path, Checkpoint{
 		ModelName: s.Model.Name(),
 		Shared:    s.Shared,
 		Specific:  s.Specific,
 		Epoch:     -1,
+		Quality:   b,
 	})
 }
 
@@ -179,8 +214,19 @@ func (s *State) SaveTraining(path string, epoch int, outer optim.Optimizer) erro
 // parameters. The state's Model must already be constructed with the
 // same structure and dataset schema as at save time.
 func (s *State) Load(path string) error {
-	_, err := s.load(path, nil)
+	_, _, err := s.load(path, nil)
 	return err
+}
+
+// LoadWithBaseline is Load returning the quality baseline frozen into
+// the checkpoint. A nil baseline means drift detection is unavailable
+// for this model: the checkpoint predates the quality block (v2
+// envelope) or was saved without profiling — the caller should log and
+// count the degraded load (Tracker.SetBaseline(nil) does the counting)
+// and carry on serving.
+func (s *State) LoadWithBaseline(path string) (*quality.Baseline, error) {
+	_, b, err := s.load(path, nil)
+	return b, err
 }
 
 // LoadTraining is Load plus resume-cursor recovery: it restores the
@@ -188,29 +234,30 @@ func (s *State) Load(path string) error {
 // the completed-epoch count the run should continue from. Loading a
 // final checkpoint (Save) yields epoch -1.
 func (s *State) LoadTraining(path string, outer optim.Optimizer) (epoch int, err error) {
-	return s.load(path, outer)
+	epoch, _, err = s.load(path, outer)
+	return epoch, err
 }
 
-func (s *State) load(path string, outer optim.Optimizer) (int, error) {
+func (s *State) load(path string, outer optim.Optimizer) (int, *quality.Baseline, error) {
 	var ck Checkpoint
-	if err := LoadGob(path, &ck); err != nil {
-		return 0, err
+	if _, err := LoadGobVersion(path, &ck); err != nil {
+		return 0, nil, err
 	}
 	if ck.ModelName != s.Model.Name() {
-		return 0, fmt.Errorf("core: checkpoint is for model %q, state has %q", ck.ModelName, s.Model.Name())
+		return 0, nil, fmt.Errorf("core: checkpoint is for model %q, state has %q", ck.ModelName, s.Model.Name())
 	}
 	params := s.Model.Parameters()
 	if len(ck.Shared) != len(params) {
-		return 0, fmt.Errorf("core: checkpoint has %d shared segments, model has %d tensors", len(ck.Shared), len(params))
+		return 0, nil, fmt.Errorf("core: checkpoint has %d shared segments, model has %d tensors", len(ck.Shared), len(params))
 	}
 	for i, p := range params {
 		if len(ck.Shared[i]) != len(p.Data) {
-			return 0, fmt.Errorf("core: shared segment %d has %d values, tensor has %d", i, len(ck.Shared[i]), len(p.Data))
+			return 0, nil, fmt.Errorf("core: shared segment %d has %d values, tensor has %d", i, len(ck.Shared[i]), len(p.Data))
 		}
 	}
 	for d, v := range ck.Specific {
 		if len(v) != len(params) {
-			return 0, fmt.Errorf("core: specific vector %d misaligned", d)
+			return 0, nil, fmt.Errorf("core: specific vector %d misaligned", d)
 		}
 	}
 	s.Shared = ck.Shared
@@ -219,11 +266,11 @@ func (s *State) load(path string, outer optim.Optimizer) (int, error) {
 	if outer != nil && !ck.Outer.Empty() {
 		st, ok := outer.(optim.Stateful)
 		if !ok {
-			return 0, fmt.Errorf("core: checkpoint carries %q optimizer state but the outer optimizer cannot restore state", ck.Outer.Name)
+			return 0, nil, fmt.Errorf("core: checkpoint carries %q optimizer state but the outer optimizer cannot restore state", ck.Outer.Name)
 		}
 		if err := st.RestoreState(params, ck.Outer); err != nil {
-			return 0, fmt.Errorf("core: restore outer optimizer: %w", err)
+			return 0, nil, fmt.Errorf("core: restore outer optimizer: %w", err)
 		}
 	}
-	return ck.Epoch, nil
+	return ck.Epoch, ck.Quality, nil
 }

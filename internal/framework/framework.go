@@ -24,6 +24,7 @@ import (
 	"mamdr/internal/metrics"
 	"mamdr/internal/models"
 	"mamdr/internal/optim"
+	"mamdr/internal/quality"
 	"mamdr/internal/trace"
 )
 
@@ -258,12 +259,15 @@ func DomainGradient(m models.Model, ds *data.Dataset, domain int, batchSize, max
 }
 
 // EvaluateAUC computes the per-domain AUC of a predictor on a split,
-// indexed by domain ID.
+// indexed by domain ID. One AUCScratch is shared across the domains, so
+// the per-epoch eval loop sorts without a fresh index allocation per
+// domain.
 func EvaluateAUC(p Predictor, ds *data.Dataset, split data.Split) []float64 {
+	var scratch metrics.AUCScratch
 	out := make([]float64, ds.NumDomains())
 	for d := range ds.Domains {
 		b := ds.FullBatch(d, split)
-		out[d] = metrics.AUC(p.Predict(b), b.Labels)
+		out[d] = scratch.AUC(p.Predict(b), b.Labels)
 	}
 	return out
 }
@@ -271,6 +275,46 @@ func EvaluateAUC(p Predictor, ds *data.Dataset, split data.Split) []float64 {
 // MeanAUC is the average of EvaluateAUC across domains.
 func MeanAUC(p Predictor, ds *data.Dataset, split data.Split) float64 {
 	return metrics.Mean(EvaluateAUC(p, ds, split))
+}
+
+// QualityBaseline profiles a predictor on a split: per-domain score
+// histograms, positive rates, AUC and logloss. This is the reference a
+// serving process compares live traffic against (PSI drift, AUC
+// regression), frozen into checkpoints by SaveWithBaseline.
+func QualityBaseline(p Predictor, ds *data.Dataset, split data.Split) *quality.Baseline {
+	bb := quality.NewBaselineBuilder(0)
+	for d, dom := range ds.Domains {
+		b := ds.FullBatch(d, split)
+		if b.Size() == 0 {
+			continue
+		}
+		bb.Observe(dom.Name, p.Predict(b), b.Labels)
+	}
+	return bb.Build()
+}
+
+// EmitQuality runs a predictor over a split and feeds the scored,
+// labeled batches into a quality tracker — the trainer-side emission
+// that puts offline eval on the same metric schema as live serving.
+// Callers pass a passive tracker (Options.Checks off) when breach
+// counting should stay a serving-side concern.
+func EmitQuality(t *quality.Tracker, p Predictor, ds *data.Dataset, split data.Split) {
+	if t == nil {
+		return
+	}
+	for d, dom := range ds.Domains {
+		b := ds.FullBatch(d, split)
+		if b.Size() == 0 {
+			continue
+		}
+		scores := p.Predict(b)
+		labels := make([]bool, len(b.Labels))
+		for i, l := range b.Labels {
+			labels[i] = l > 0.5
+		}
+		t.ObserveLabeled(dom.Name, scores, labels)
+	}
+	t.Flush()
 }
 
 // shuffledDomains returns a random permutation of domain ids.

@@ -14,7 +14,25 @@ import (
 // tied scores (tied groups contribute mid-ranks). It returns 0.5 when
 // either class is absent, matching the convention of reporting chance
 // performance for degenerate domains.
+//
+// AUC allocates and sorts an index slice per call. Eval loops that
+// compute many AUCs (once per domain per epoch) should reuse an
+// AUCScratch instead.
 func AUC(scores, labels []float64) float64 {
+	var s AUCScratch
+	return s.AUC(scores, labels)
+}
+
+// AUCScratch computes AUCs while reusing its index buffer across calls,
+// eliminating the per-call allocation of the package-level AUC. The
+// zero value is ready to use; it is not safe for concurrent use.
+type AUCScratch struct {
+	idx []int
+}
+
+// AUC is identical to the package-level AUC but reuses the scratch's
+// index buffer (growing it once to the largest input seen).
+func (s *AUCScratch) AUC(scores, labels []float64) float64 {
 	if len(scores) != len(labels) {
 		panic(fmt.Sprintf("metrics: AUC with %d scores vs %d labels", len(scores), len(labels)))
 	}
@@ -22,7 +40,10 @@ func AUC(scores, labels []float64) float64 {
 	if n == 0 {
 		return 0.5
 	}
-	idx := make([]int, n)
+	if cap(s.idx) < n {
+		s.idx = make([]int, n)
+	}
+	idx := s.idx[:n]
 	for i := range idx {
 		idx[i] = i
 	}

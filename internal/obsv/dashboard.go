@@ -1,8 +1,9 @@
 package obsv
 
 // dashboardHTML is the self-contained live dashboard served at "/": no
-// external assets, no build step — it polls /metrics/summary and /slo
-// and renders the fleet and its error budgets in place.
+// external assets, no build step — it polls /metrics/summary, /slo and
+// /quality and renders the fleet, its error budgets, and model quality
+// in place.
 const dashboardHTML = `<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -30,6 +31,9 @@ const dashboardHTML = `<!DOCTYPE html>
 <table id="inst"><thead><tr><th>role</th><th>instance</th><th>series</th><th>taken</th></tr></thead><tbody></tbody></table>
 <h2>SLOs</h2>
 <table id="slos"><thead><tr><th>slo</th><th>mode</th><th>bad</th><th>total</th><th>windows (burn / max)</th><th>state</th></tr></thead><tbody></tbody></table>
+<h2>model quality <span id="qgo" class="ok">GO</span></h2>
+<div class="dim" id="qmissing"></div>
+<table id="quality"><thead><tr><th>instance</th><th>domain</th><th>auc</th><th>baseline</th><th>&Delta;auc</th><th>calib</th><th>psi(score)</th><th>psi(label)</th></tr></thead><tbody></tbody></table>
 <script>
 async function tick() {
   try {
@@ -60,6 +64,27 @@ async function tick() {
       td.className = s.firing ? 'bad' : 'ok';
       tr.appendChild(td);
       st.appendChild(tr);
+    }
+    const q = await (await fetch('/quality')).json();
+    const go = document.getElementById('qgo');
+    go.textContent = q.go ? 'GO' : 'NO-GO: ' + (q.firing || []).join(', ');
+    go.className = q.go ? 'ok' : 'bad';
+    document.getElementById('qmissing').textContent = (q.baseline_missing || []).length
+      ? 'baseline missing (drift detection disabled): ' + q.baseline_missing.join(', ') : '';
+    const qt = document.querySelector('#quality tbody'); qt.innerHTML = '';
+    // Worst PSI first — the rows an operator acts on.
+    for (const r of (q.worst_by_psi || [])) {
+      const tr = document.createElement('tr');
+      const fmt = v => (v === undefined || v === null) ? '–' : (+v).toFixed(3);
+      const cells = [r.instance, r.domain, fmt(r.auc), fmt(r.baseline_auc),
+                     fmt(r.auc_delta), fmt(r.calibration), fmt(r.score_psi), fmt(r.label_psi)];
+      cells.forEach((v, i) => {
+        const td = document.createElement('td'); td.textContent = v;
+        if (i === 4 && r.auc_delta < -0.05) td.className = 'bad';
+        if ((i === 6 && r.score_psi > 0.25) || (i === 7 && r.label_psi > 0.25)) td.className = 'bad';
+        tr.appendChild(td);
+      });
+      qt.appendChild(tr);
     }
   } catch (e) {
     document.getElementById('err').textContent = 'dashboard: ' + e;

@@ -1,0 +1,215 @@
+package obsv
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"mamdr/internal/telemetry"
+)
+
+// QualityRow is one (instance, domain) slice of model quality read off
+// the federated view: the streaming prequential AUC against the
+// baseline frozen into the checkpoint, the calibration ratio, and the
+// score/label PSI drift signals.
+type QualityRow struct {
+	Instance    string  `json:"instance"`
+	Role        string  `json:"role,omitempty"`
+	Domain      string  `json:"domain"`
+	AUC         float64 `json:"auc"`
+	BaselineAUC float64 `json:"baseline_auc,omitempty"`
+	AUCDelta    float64 `json:"auc_delta"`
+	LogLoss     float64 `json:"logloss,omitempty"`
+	Calibration float64 `json:"calibration,omitempty"`
+	ScorePSI    float64 `json:"score_psi"`
+	LabelPSI    float64 `json:"label_psi"`
+}
+
+// maxPSI is the row's drift headline: the worse of its two PSI kinds.
+func (r QualityRow) maxPSI() float64 { return math.Max(r.ScorePSI, r.LabelPSI) }
+
+// QualityFleetRow is one instance's fleet-wide (cross-domain) quality.
+type QualityFleetRow struct {
+	Instance    string  `json:"instance"`
+	Role        string  `json:"role,omitempty"`
+	AUC         float64 `json:"auc"`
+	BaselineAUC float64 `json:"baseline_auc,omitempty"`
+	LogLoss     float64 `json:"logloss,omitempty"`
+	Calibration float64 `json:"calibration,omitempty"`
+}
+
+// QualityReport is the JSON body of /quality: every (instance, domain)
+// row, the worst offenders by AUC regression and by PSI, the quality
+// SLOs currently firing, and a single go/no-go bit.
+type QualityReport struct {
+	Fleet           []QualityFleetRow `json:"fleet,omitempty"`
+	Rows            []QualityRow      `json:"rows,omitempty"`
+	WorstByAUCDelta []QualityRow      `json:"worst_by_auc_delta,omitempty"`
+	WorstByPSI      []QualityRow      `json:"worst_by_psi,omitempty"`
+	BaselineMissing []string          `json:"baseline_missing,omitempty"`
+	Firing          []string          `json:"firing,omitempty"`
+	// Go is false while any quality SLO is firing — the one bit a
+	// deploy gate needs.
+	Go bool `json:"go"`
+}
+
+// qualityWorstN bounds the worst-offender lists on /quality.
+const qualityWorstN = 10
+
+// labelValue returns the named label's value, or "".
+func labelValue(labels []telemetry.Label, name string) string {
+	for _, l := range labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// BuildQualityReport assembles the quality report from a federated
+// family list (instance/role labels already applied) and the current
+// SLO status. It is a pure function of its inputs so tests can feed it
+// hand-built snapshots.
+func BuildQualityReport(fams []telemetry.FamilySnapshot, status []SLOStatus) QualityReport {
+	rep := QualityReport{Go: true}
+
+	type rowKey struct{ instance, domain string }
+	rows := map[rowKey]*QualityRow{}
+	rowOf := func(labels []telemetry.Label) *QualityRow {
+		k := rowKey{labelValue(labels, "instance"), labelValue(labels, "domain")}
+		if k.domain == "" {
+			return nil
+		}
+		r, ok := rows[k]
+		if !ok {
+			r = &QualityRow{Instance: k.instance, Role: labelValue(labels, "role"), Domain: k.domain}
+			rows[k] = r
+		}
+		return r
+	}
+
+	fleet := map[string]*QualityFleetRow{}
+	fleetOf := func(labels []telemetry.Label) *QualityFleetRow {
+		inst := labelValue(labels, "instance")
+		r, ok := fleet[inst]
+		if !ok {
+			r = &QualityFleetRow{Instance: inst, Role: labelValue(labels, "role")}
+			fleet[inst] = r
+		}
+		return r
+	}
+
+	for _, fam := range fams {
+		switch fam.Name {
+		case "mamdr_quality_auc":
+			for _, se := range fam.Series {
+				if r := rowOf(se.Labels); r != nil {
+					r.AUC = se.Value
+				}
+			}
+		case "mamdr_quality_auc_baseline":
+			for _, se := range fam.Series {
+				if r := rowOf(se.Labels); r != nil {
+					r.BaselineAUC = se.Value
+				}
+			}
+		case "mamdr_quality_logloss":
+			for _, se := range fam.Series {
+				if r := rowOf(se.Labels); r != nil {
+					r.LogLoss = se.Value
+				}
+			}
+		case "mamdr_quality_calibration_ratio":
+			for _, se := range fam.Series {
+				if r := rowOf(se.Labels); r != nil {
+					r.Calibration = se.Value
+				}
+			}
+		case "mamdr_quality_psi":
+			for _, se := range fam.Series {
+				r := rowOf(se.Labels)
+				if r == nil {
+					continue
+				}
+				switch labelValue(se.Labels, "kind") {
+				case "label":
+					r.LabelPSI = se.Value
+				default:
+					r.ScorePSI = se.Value
+				}
+			}
+		case "mamdr_quality_fleet_auc":
+			for _, se := range fam.Series {
+				fleetOf(se.Labels).AUC = se.Value
+			}
+		case "mamdr_quality_fleet_auc_baseline":
+			for _, se := range fam.Series {
+				fleetOf(se.Labels).BaselineAUC = se.Value
+			}
+		case "mamdr_quality_fleet_logloss":
+			for _, se := range fam.Series {
+				fleetOf(se.Labels).LogLoss = se.Value
+			}
+		case "mamdr_quality_fleet_calibration_ratio":
+			for _, se := range fam.Series {
+				fleetOf(se.Labels).Calibration = se.Value
+			}
+		case "mamdr_quality_baseline_missing":
+			for _, se := range fam.Series {
+				if se.Value > 0 {
+					rep.BaselineMissing = append(rep.BaselineMissing, labelValue(se.Labels, "instance"))
+				}
+			}
+		}
+	}
+
+	for _, r := range rows {
+		r.AUCDelta = r.AUC - r.BaselineAUC
+		rep.Rows = append(rep.Rows, *r)
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Instance != rep.Rows[j].Instance {
+			return rep.Rows[i].Instance < rep.Rows[j].Instance
+		}
+		return rep.Rows[i].Domain < rep.Rows[j].Domain
+	})
+	for _, r := range fleet {
+		rep.Fleet = append(rep.Fleet, *r)
+	}
+	sort.Slice(rep.Fleet, func(i, j int) bool { return rep.Fleet[i].Instance < rep.Fleet[j].Instance })
+	sort.Strings(rep.BaselineMissing)
+
+	// Worst offenders: most-regressed AUC first, then highest PSI first.
+	byDelta := append([]QualityRow(nil), rep.Rows...)
+	sort.SliceStable(byDelta, func(i, j int) bool { return byDelta[i].AUCDelta < byDelta[j].AUCDelta })
+	rep.WorstByAUCDelta = topN(byDelta, qualityWorstN)
+	byPSI := append([]QualityRow(nil), rep.Rows...)
+	sort.SliceStable(byPSI, func(i, j int) bool { return byPSI[i].maxPSI() > byPSI[j].maxPSI() })
+	rep.WorstByPSI = topN(byPSI, qualityWorstN)
+
+	for _, st := range status {
+		if st.Firing && strings.HasPrefix(st.Name, "quality-") {
+			rep.Firing = append(rep.Firing, st.Name)
+			rep.Go = false
+		}
+	}
+	return rep
+}
+
+func topN(rows []QualityRow, n int) []QualityRow {
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows
+}
+
+// qualityReport snapshots the server state for /quality.
+func (s *Server) qualityReport() QualityReport {
+	s.mu.Lock()
+	var fams []telemetry.FamilySnapshot
+	if s.fleet != nil {
+		fams = s.fleet.Families
+	}
+	s.mu.Unlock()
+	return BuildQualityReport(fams, s.eval.Status())
+}

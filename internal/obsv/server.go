@@ -197,6 +197,7 @@ func (s *Server) summary() Summary {
 //	GET /metrics       -> federated Prometheus exposition (all instances)
 //	GET /metrics/summary -> JSON fleet summary
 //	GET /slo           -> JSON SLO status
+//	GET /quality       -> JSON model-quality report (worst domains, drift, go/no-go)
 //	GET /healthz       -> liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -219,6 +220,10 @@ func (s *Server) Handler() http.Handler {
 			Fired int64       `json:"alerts_fired"`
 			SLOs  []SLOStatus `json:"slos"`
 		}{s.eval.Fired(), s.eval.Status()})
+	})
+	mux.HandleFunc("/quality", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.qualityReport())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))

@@ -172,6 +172,30 @@ func DefaultSLOs() []SLO {
 			Bad:         Selector{Families: []string{"mamdr_anomalies_total"}},
 			MaxEvents:   3,
 		},
+		// Quality SLOs burn against the breach counters the quality
+		// trackers emit (internal/quality): each breach is one quality
+		// check that found the fleet AUC under its floor, a domain's PSI
+		// over its ceiling, or a calibration ratio outside its band.
+		// Count mode keeps the burn engine unchanged — model-quality
+		// checks have no request denominator.
+		{
+			Name:        "quality-auc-floor",
+			Description: "Fleet windowed AUC stays above its floor (at most 3 breach checks per hour).",
+			Bad:         Selector{Families: []string{"mamdr_quality_auc_floor_breaches_total"}},
+			MaxEvents:   3,
+		},
+		{
+			Name:        "quality-psi-drift",
+			Description: "Per-domain score/label PSI stays under its ceiling (at most 5 breach checks per hour).",
+			Bad:         Selector{Families: []string{"mamdr_quality_psi_breaches_total"}},
+			MaxEvents:   5,
+		},
+		{
+			Name:        "quality-calibration",
+			Description: "Per-domain calibration ratio stays in band (at most 5 breach checks per hour).",
+			Bad:         Selector{Families: []string{"mamdr_quality_calibration_breaches_total"}},
+			MaxEvents:   5,
+		},
 	}
 }
 

@@ -1,0 +1,83 @@
+package quality
+
+import "math"
+
+// DefaultPSIBins is the histogram resolution PSI is computed at.
+// Deliberately coarse: PSI sums ln-ratio terms per bucket, so
+// fine-grained bins turn sampling noise in sparsely populated buckets
+// into spurious drift. Twenty buckets is the standard choice in credit
+// scoring, where the 0.1/0.25 interpretation thresholds come from.
+const DefaultPSIBins = 20
+
+// psiEps floors bucket proportions so empty buckets contribute a large
+// finite term instead of an infinite one.
+const psiEps = 1e-4
+
+// PSI returns the Population Stability Index between an expected
+// (baseline) distribution and an actual (live) one, given raw bucket
+// counts of equal length: Σ (aᵢ−eᵢ)·ln(aᵢ/eᵢ) over normalized
+// proportions, with both proportions floored at a small epsilon.
+// Conventional reading: < 0.1 stable, 0.1–0.25 moderate shift, > 0.25
+// major shift. Returns 0 when either histogram is empty or the lengths
+// differ (no evidence is not drift).
+func PSI(expected, actual []int64) float64 {
+	if len(expected) != len(actual) || len(expected) == 0 {
+		return 0
+	}
+	var eTot, aTot int64
+	for i := range expected {
+		eTot += expected[i]
+		aTot += actual[i]
+	}
+	if eTot == 0 || aTot == 0 {
+		return 0
+	}
+	var psi float64
+	for i := range expected {
+		e := math.Max(float64(expected[i])/float64(eTot), psiEps)
+		a := math.Max(float64(actual[i])/float64(aTot), psiEps)
+		psi += (a - e) * math.Log(a/e)
+	}
+	return psi
+}
+
+// PSIProportions is PSI over already-normalized proportions — the form
+// stored in checkpoint baselines — against raw live counts.
+func PSIProportions(expected []float64, actual []int64) float64 {
+	if len(expected) != len(actual) || len(expected) == 0 {
+		return 0
+	}
+	var aTot int64
+	var eTot float64
+	for i := range actual {
+		aTot += actual[i]
+		eTot += expected[i]
+	}
+	if aTot == 0 || eTot <= 0 {
+		return 0
+	}
+	var psi float64
+	for i := range expected {
+		e := math.Max(expected[i]/eTot, psiEps)
+		a := math.Max(float64(actual[i])/float64(aTot), psiEps)
+		psi += (a - e) * math.Log(a/e)
+	}
+	return psi
+}
+
+// LabelPSI measures drift in the positive-label rate as a two-bucket
+// PSI over [positives, negatives] — the label-stream counterpart of
+// score-distribution PSI.
+func LabelPSI(expectedPosRate float64, pos, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if expectedPosRate < 0 {
+		expectedPosRate = 0
+	} else if expectedPosRate > 1 {
+		expectedPosRate = 1
+	}
+	expected := []float64{expectedPosRate, 1 - expectedPosRate}
+	actual := []int64{pos, total - pos}
+	return PSIProportions(expected, actual)
+}

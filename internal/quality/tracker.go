@@ -1,0 +1,419 @@
+package quality
+
+import (
+	"sync"
+
+	"mamdr/internal/telemetry"
+)
+
+// Options configures a Tracker. Zero values are replaced by defaults.
+type Options struct {
+	// Window is the labeled observation window per domain (default
+	// 2048) — the horizon of the prequential AUC/logloss/calibration.
+	Window int
+	// ScoreWindow is the unlabeled score window per domain (default
+	// 8192) — the horizon of score-distribution drift.
+	ScoreWindow int
+	// Bins is the streaming-AUC bin resolution (default DefaultBins).
+	Bins int
+	// PSIBins is the drift histogram resolution (default
+	// DefaultPSIBins).
+	PSIBins int
+	// Checks enables breach counting — the series the quality SLOs
+	// burn against. Leave false for passive emitters (the trainer's
+	// offline eval) so they can never fire fleet alerts.
+	Checks bool
+	// MinLabeled gates label-dependent checks (AUC floor, calibration,
+	// label PSI) until a domain has this many labeled observations
+	// windowed (default 200): thin evidence must not fire alerts.
+	MinLabeled int
+	// MinScores gates score-PSI checks until this many scores are
+	// windowed (default 500).
+	MinScores int
+	// CheckEvery re-derives gauges and runs breach checks every this
+	// many observations per domain (default 64), amortizing the
+	// O(bins) AUC read off the request path.
+	CheckEvery int
+	// AUCFloor is the fleet windowed-AUC floor (default 0.55); below
+	// it mamdr_quality_auc_floor_breaches_total increments.
+	AUCFloor float64
+	// PSICeiling is the per-domain PSI ceiling (default 0.25, the
+	// conventional "major shift" threshold).
+	PSICeiling float64
+	// CalibLow and CalibHigh bound the acceptable calibration ratio
+	// (defaults 0.5 and 2.0).
+	CalibLow, CalibHigh float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window <= 0 {
+		o.Window = 2048
+	}
+	if o.ScoreWindow <= 0 {
+		o.ScoreWindow = 8192
+	}
+	if o.Bins <= 0 {
+		o.Bins = DefaultBins
+	}
+	if o.PSIBins <= 0 {
+		o.PSIBins = DefaultPSIBins
+	}
+	if o.MinLabeled <= 0 {
+		o.MinLabeled = 200
+	}
+	if o.MinScores <= 0 {
+		o.MinScores = 500
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 64
+	}
+	if o.AUCFloor == 0 {
+		o.AUCFloor = 0.55
+	}
+	if o.PSICeiling == 0 {
+		o.PSICeiling = 0.25
+	}
+	if o.CalibLow == 0 {
+		o.CalibLow = 0.5
+	}
+	if o.CalibHigh == 0 {
+		o.CalibHigh = 2.0
+	}
+	return o
+}
+
+// Tracker owns the per-domain and fleet-wide streaming evaluators and
+// publishes their readings as telemetry series — the one schema both
+// the serving path (live traffic) and the trainer (offline eval)
+// emit. All methods are safe for concurrent use and nil-receiver-safe.
+type Tracker struct {
+	opts Options
+	reg  *telemetry.Registry
+
+	mu       sync.Mutex
+	baseline *Baseline
+	domains  map[string]*domainState
+	fleet    *domainState
+
+	fleetBreaches *telemetry.Counter
+	missingGauge  *telemetry.Gauge
+	missingLoads  *telemetry.Counter
+
+	feedbackJoins  *telemetry.Counter
+	feedbackMisses *telemetry.Counter
+	feedbackEvict  *telemetry.Counter
+	lastEvictions  int64
+}
+
+// domainState is one domain's evaluators plus its instrument handles.
+// Its own mutex keeps hot-path contention per domain; the Tracker mutex
+// only guards the domain map and baseline pointer.
+type domainState struct {
+	mu         sync.Mutex
+	name       string
+	eval       *WindowEval
+	scores     *ScoreWindow
+	base       *DomainBaseline
+	sinceCheck int
+
+	auc, aucBase, logloss, calib *telemetry.Gauge
+	psiScore, psiLabel           *telemetry.Gauge
+	labels                       *telemetry.Counter
+	psiBreachScore               *telemetry.Counter
+	psiBreachLabel               *telemetry.Counter
+	calibBreach                  *telemetry.Counter
+}
+
+// NewTracker registers the quality metric families in reg (nil gets a
+// private registry) and returns a ready tracker with no baseline —
+// call SetBaseline once the checkpoint (or a fresh eval pass) provides
+// one.
+func NewTracker(reg *telemetry.Registry, opts Options) *Tracker {
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	t := &Tracker{opts: opts.withDefaults(), reg: reg, domains: map[string]*domainState{}}
+	t.fleet = t.newDomainState("")
+	t.fleetBreaches = reg.Counter("mamdr_quality_auc_floor_breaches_total",
+		"Quality checks where the fleet windowed AUC was below the configured floor.")
+	t.missingGauge = reg.Gauge("mamdr_quality_baseline_missing",
+		"1 when no quality baseline is loaded (drift detection disabled), else 0.")
+	t.missingLoads = reg.Counter("mamdr_quality_baseline_missing_total",
+		"Model loads that carried no quality baseline (pre-quality checkpoints).")
+	t.feedbackJoins = reg.Counter("mamdr_quality_feedback_joins_total",
+		"Feedback requests successfully joined to a pending prediction.")
+	t.feedbackMisses = reg.Counter("mamdr_quality_feedback_misses_total",
+		"Feedback requests whose request ID was unknown, expired, or already consumed.")
+	t.feedbackEvict = reg.Counter("mamdr_quality_feedback_evictions_total",
+		"Pending predictions dropped from the feedback join buffer by TTL or capacity.")
+	t.missingGauge.Set(1)
+	return t
+}
+
+// newDomainState registers the per-domain series. The fleet state uses
+// the mamdr_quality_fleet_* families (no domain label).
+func (t *Tracker) newDomainState(name string) *domainState {
+	d := &domainState{
+		name:   name,
+		eval:   NewWindowEval(t.opts.Window, t.opts.Bins),
+		scores: NewScoreWindow(t.opts.ScoreWindow, t.opts.Bins),
+	}
+	if name == "" {
+		d.auc = t.reg.Gauge("mamdr_quality_fleet_auc",
+			"Windowed prequential AUC over all domains pooled (0.5 when a class is absent).")
+		d.aucBase = t.reg.Gauge("mamdr_quality_fleet_auc_baseline",
+			"Offline validation AUC frozen into the loaded checkpoint's quality baseline.")
+		d.logloss = t.reg.Gauge("mamdr_quality_fleet_logloss",
+			"Windowed mean binary cross entropy over all domains pooled.")
+		d.calib = t.reg.Gauge("mamdr_quality_fleet_calibration_ratio",
+			"Fleet predicted-CTR / observed-CTR over the labeled window (0 when undefined).")
+		return d
+	}
+	lbl := telemetry.L("domain", name)
+	d.auc = t.reg.Gauge("mamdr_quality_auc",
+		"Windowed prequential AUC of the domain (0.5 when a class is absent).", lbl)
+	d.aucBase = t.reg.Gauge("mamdr_quality_auc_baseline",
+		"Offline validation AUC frozen into the loaded checkpoint's quality baseline.", lbl)
+	d.logloss = t.reg.Gauge("mamdr_quality_logloss",
+		"Windowed mean binary cross entropy of the domain.", lbl)
+	d.calib = t.reg.Gauge("mamdr_quality_calibration_ratio",
+		"Predicted-CTR / observed-CTR over the domain's labeled window (0 when undefined).", lbl)
+	d.psiScore = t.reg.Gauge("mamdr_quality_psi",
+		"Population Stability Index of the live distribution vs the checkpoint baseline (<0.1 stable, 0.1-0.25 moderate, >0.25 major shift; 0 without a baseline).",
+		lbl, telemetry.L("kind", "score"))
+	d.psiLabel = t.reg.Gauge("mamdr_quality_psi", "", lbl, telemetry.L("kind", "label"))
+	d.labels = t.reg.Counter("mamdr_quality_labels_total",
+		"Labeled observations consumed by the streaming evaluators.", lbl)
+	d.psiBreachScore = t.reg.Counter("mamdr_quality_psi_breaches_total",
+		"Quality checks where a domain's PSI exceeded the configured ceiling.",
+		lbl, telemetry.L("kind", "score"))
+	d.psiBreachLabel = t.reg.Counter("mamdr_quality_psi_breaches_total", "",
+		lbl, telemetry.L("kind", "label"))
+	d.calibBreach = t.reg.Counter("mamdr_quality_calibration_breaches_total",
+		"Quality checks where a domain's calibration ratio left the configured band.", lbl)
+	return d
+}
+
+// SetBaseline installs (or clears, with nil) the drift-detection
+// baseline. A nil baseline — a pre-quality checkpoint — flips the
+// mamdr_quality_baseline_missing gauge and counts the degraded load;
+// PSI gauges then report 0 and drift checks are disabled.
+func (t *Tracker) SetBaseline(b *Baseline) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.baseline = b
+	if b == nil {
+		t.missingGauge.Set(1)
+		t.missingLoads.Inc()
+	} else {
+		t.missingGauge.Set(0)
+		t.fleet.mu.Lock()
+		t.fleet.base = &b.Fleet
+		t.fleet.aucBase.Set(b.Fleet.AUC)
+		t.fleet.mu.Unlock()
+	}
+	for name, d := range t.domains {
+		base := b.Domain(name) // nil-safe on nil b
+		d.mu.Lock()
+		d.base = base
+		if base != nil {
+			d.aucBase.Set(base.AUC)
+		} else {
+			d.aucBase.Set(0)
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Baseline returns the installed baseline (nil when drift detection is
+// disabled).
+func (t *Tracker) Baseline() *Baseline {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.baseline
+}
+
+// domain returns (creating if needed) the named domain's state.
+func (t *Tracker) domain(name string) *domainState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d, ok := t.domains[name]
+	if !ok {
+		d = t.newDomainState(name)
+		d.base = t.baseline.Domain(name)
+		if d.base != nil {
+			d.aucBase.Set(d.base.AUC)
+		}
+		t.domains[name] = d
+	}
+	return d
+}
+
+// ObserveScores records a served prediction batch's scores (no labels
+// yet) for the domain — the dense drift signal.
+func (t *Tracker) ObserveScores(domain string, scores []float64) {
+	if t == nil || len(scores) == 0 {
+		return
+	}
+	d := t.domain(domain)
+	d.mu.Lock()
+	for _, s := range scores {
+		d.scores.Add(s)
+	}
+	d.advanceLocked(t, len(scores))
+	d.mu.Unlock()
+
+	f := t.fleet
+	f.mu.Lock()
+	for _, s := range scores {
+		f.scores.Add(s)
+	}
+	f.advanceLocked(t, len(scores))
+	f.mu.Unlock()
+}
+
+// ObserveLabeled records labeled (score, label) observations for the
+// domain — joined feedback on the serving path, or eval-split
+// predictions on the trainer path.
+func (t *Tracker) ObserveLabeled(domain string, scores []float64, labels []bool) {
+	if t == nil || len(scores) == 0 || len(scores) != len(labels) {
+		return
+	}
+	d := t.domain(domain)
+	d.mu.Lock()
+	for i, s := range scores {
+		d.eval.Add(s, labels[i])
+	}
+	d.labels.Add(int64(len(scores)))
+	d.advanceLocked(t, len(scores))
+	d.mu.Unlock()
+
+	f := t.fleet
+	f.mu.Lock()
+	for i, s := range scores {
+		f.eval.Add(s, labels[i])
+	}
+	f.advanceLocked(t, len(scores))
+	f.mu.Unlock()
+}
+
+// FeedbackJoined / FeedbackMissed count /feedback join outcomes;
+// SyncEvictions folds the join buffer's eviction count into its
+// counter (call with the buffer's current total).
+func (t *Tracker) FeedbackJoined() {
+	if t == nil {
+		return
+	}
+	t.feedbackJoins.Inc()
+}
+
+// FeedbackMissed counts a feedback request that found no pending
+// prediction.
+func (t *Tracker) FeedbackMissed() {
+	if t == nil {
+		return
+	}
+	t.feedbackMisses.Inc()
+}
+
+// SyncEvictions advances the eviction counter to the buffer's total.
+func (t *Tracker) SyncEvictions(total int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	delta := total - t.lastEvictions
+	if delta > 0 {
+		t.lastEvictions = total
+	}
+	t.mu.Unlock()
+	t.feedbackEvict.Add(delta)
+}
+
+// Flush re-derives every domain's gauges immediately, regardless of the
+// CheckEvery cadence — used by the trainer after its final eval pass so
+// the emitted series reflect all observations.
+func (t *Tracker) Flush() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	states := make([]*domainState, 0, len(t.domains)+1)
+	for _, d := range t.domains {
+		states = append(states, d)
+	}
+	states = append(states, t.fleet)
+	t.mu.Unlock()
+	for _, d := range states {
+		d.mu.Lock()
+		d.refreshLocked(t)
+		d.mu.Unlock()
+	}
+}
+
+// advanceLocked bumps the observation counter and refreshes gauges and
+// breach checks once per CheckEvery observations.
+func (d *domainState) advanceLocked(t *Tracker, n int) {
+	first := d.sinceCheck == 0 && d.eval.Count()+d.scores.Count() == n
+	d.sinceCheck += n
+	if first || d.sinceCheck >= t.opts.CheckEvery {
+		d.sinceCheck = 0
+		d.refreshLocked(t)
+	}
+}
+
+// refreshLocked re-derives the domain's gauges from its windows and,
+// when checks are enabled and the evidence thresholds are met, counts
+// breaches. Gauges never hold NaN: undefined readings report 0 (and
+// the AUC of a single-class window reports 0.5 by construction).
+func (d *domainState) refreshLocked(t *Tracker) {
+	opts := t.opts
+	labeled := d.eval.Count()
+	auc := d.eval.AUC()
+	calib := d.eval.CalibrationRatio()
+	d.auc.Set(auc)
+	d.logloss.Set(d.eval.LogLoss())
+	d.calib.Set(calib)
+
+	var psiScore, psiLabel float64
+	if d.base != nil {
+		// Score PSI prefers the dense unlabeled window; with no served
+		// scores yet (trainer path) it falls back to the labeled window.
+		hist := d.scores.Histogram(len(d.base.ScoreHist))
+		nScores := d.scores.Count()
+		if nScores == 0 {
+			hist = d.eval.Histogram(len(d.base.ScoreHist))
+			nScores = labeled
+		}
+		psiScore = PSIProportions(d.base.ScoreHist, hist)
+		psiLabel = LabelPSI(d.base.PosRate, d.eval.Positives(), int64(labeled))
+		if d.psiScore != nil {
+			d.psiScore.Set(psiScore)
+			d.psiLabel.Set(psiLabel)
+		}
+		if opts.Checks && nScores >= opts.MinScores && psiScore > opts.PSICeiling {
+			d.psiBreachScore.Inc()
+		}
+		if opts.Checks && labeled >= opts.MinLabeled && psiLabel > opts.PSICeiling {
+			d.psiBreachLabel.Inc()
+		}
+	} else if d.psiScore != nil {
+		d.psiScore.Set(0)
+		d.psiLabel.Set(0)
+	}
+
+	if opts.Checks && labeled >= opts.MinLabeled {
+		if d.name == "" && auc < opts.AUCFloor {
+			t.fleetBreaches.Inc()
+		}
+		if d.calibBreach != nil && calib > 0 && (calib < opts.CalibLow || calib > opts.CalibHigh) {
+			d.calibBreach.Inc()
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"mamdr/internal/data"
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
+	"mamdr/internal/quality"
 	"mamdr/internal/synth"
 	"mamdr/internal/telemetry"
 )
@@ -39,7 +40,7 @@ func (s *legacyServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 		ins[i] = data.Interaction{User: req.Users[i], Item: req.Items[i]}
 	}
 	probs := s.state.Predict(s.dataset.MakeBatch(req.Domain, ins))
-	writeJSON(w, PredictResponse{Probabilities: probs})
+	json.NewEncoder(w).Encode(PredictResponse{Probabilities: probs})
 }
 
 func benchState(b *testing.B) (*core.State, *data.Dataset, func() models.Model) {
@@ -135,6 +136,15 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) {
 		srv := NewWithOptions(st, ds, Options{
 			Replicas: 8, ReplicaFactory: factory, Metrics: telemetry.New(),
+		})
+		drive(b, srv.Handler())
+	})
+
+	b.Run("instrumented+quality", func(b *testing.B) {
+		reg := telemetry.New()
+		srv := NewWithOptions(st, ds, Options{
+			Replicas: 8, ReplicaFactory: factory, Metrics: reg,
+			Quality: quality.NewTracker(reg, quality.Options{Checks: true}),
 		})
 		drive(b, srv.Handler())
 	})

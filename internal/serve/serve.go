@@ -33,6 +33,7 @@ import (
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/paramvec"
+	"mamdr/internal/quality"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
 )
@@ -74,6 +75,19 @@ type Options struct {
 	// local checks, so a replica whose upstream is gone drops out of
 	// the load balancer before it starts serving stale predictions.
 	Upstream func() error
+	// Quality, when non-nil, turns on model-quality observability:
+	// every successful prediction feeds per-domain score-distribution
+	// histograms and the tracker's drift windows, responses carry a
+	// request_id, and POST /feedback joins delayed labels back to
+	// their predictions so prequential AUC/calibration accrue from
+	// live traffic.
+	Quality *quality.Tracker
+	// FeedbackTTL bounds how long a prediction waits in the feedback
+	// join buffer for its labels. Default 2 minutes.
+	FeedbackTTL time.Duration
+	// FeedbackBuffer caps the join buffer's entry count (oldest
+	// evicted first). Default 65536.
+	FeedbackBuffer int
 }
 
 func (o Options) withDefaults() Options {
@@ -127,7 +141,9 @@ type Server struct {
 	// balancers stop routing here, while in-flight requests finish.
 	draining atomic.Bool
 
-	metrics *serveMetrics
+	metrics  *serveMetrics
+	quality  *quality.Tracker
+	feedback *quality.JoinBuffer
 }
 
 // New builds a server over a trained state and its dataset with default
@@ -166,6 +182,10 @@ func NewWithOptions(state *core.State, dataset *data.Dataset, opts Options) *Ser
 	}
 	s.snap.Store(s.compose())
 	s.metrics = newServeMetrics(opts.Metrics, opts.Replicas)
+	if opts.Quality != nil {
+		s.quality = opts.Quality
+		s.feedback = quality.NewJoinBuffer(opts.FeedbackBuffer, opts.FeedbackTTL, nil)
+	}
 	return s
 }
 
@@ -234,9 +254,26 @@ type PredictRequest struct {
 }
 
 // PredictResponse carries the probabilities aligned with the request
-// pairs.
+// pairs. RequestID is set when quality observability is enabled: echo
+// it in a later POST /feedback to join the eventual click/no-click
+// labels back to these predictions.
 type PredictResponse struct {
 	Probabilities []float64 `json:"probabilities"`
+	RequestID     string    `json:"request_id,omitempty"`
+}
+
+// FeedbackRequest delivers delayed labels for an earlier prediction,
+// identified by the request_id the PredictResponse carried. Labels
+// align with that request's user-item pairs (>0.5 = click).
+type FeedbackRequest struct {
+	RequestID string    `json:"request_id"`
+	Labels    []float64 `json:"labels"`
+}
+
+// FeedbackResponse reports a successful label join.
+type FeedbackResponse struct {
+	Domain string `json:"domain"`
+	Joined int    `json:"joined"`
 }
 
 // DomainsResponse describes the served domains.
@@ -258,7 +295,10 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Handler returns the HTTP routes:
 //
-//	POST /predict     {domain, users[], items[]} -> {probabilities[]}
+//	POST /predict     {domain, users[], items[]} -> {probabilities[], request_id}
+//	POST /feedback    {request_id, labels[]} -> {domain, joined}
+//	                  (when Options.Quality is set: joins delayed labels
+//	                  to the prediction served under that request ID)
 //	GET  /domains     -> {num_domains, names[]}
 //	POST /domains     -> {id}   (registers a new domain)
 //	GET  /healthz     -> 200 ok (liveness: the process serves HTTP)
@@ -274,6 +314,9 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
+	if s.quality != nil {
+		mux.HandleFunc("/feedback", s.handleFeedback)
+	}
 	mux.HandleFunc("/domains", s.handleDomains)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -374,7 +417,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		predictSpan.End()
 		s.pool <- rep
 		s.metrics.release()
-		writeJSON(w, PredictResponse{Probabilities: probs})
+		resp := PredictResponse{Probabilities: probs}
+		if s.quality != nil {
+			resp.RequestID = s.recordPrediction(w, r, snap.names[req.Domain], probs)
+		}
+		s.writeJSON(w, r, resp)
 		s.metrics.latencyFor(snap.names[req.Domain]).Observe(time.Since(start).Seconds())
 	case <-ctx.Done():
 		waitSpan.EndWith(trace.A("timeout", true))
@@ -407,13 +454,76 @@ func (s *Server) predictOn(rep *replica, snap *snapshot, domain int, b *data.Bat
 	return probs
 }
 
+// recordPrediction feeds the quality tracker with the served scores and
+// parks them in the feedback join buffer under the response's request
+// ID (minting one when the instrument chain did not). Returns the ID.
+func (s *Server) recordPrediction(w http.ResponseWriter, r *http.Request, domain string, probs []float64) string {
+	rid := w.Header().Get("X-Request-ID")
+	if rid == "" {
+		rid = requestID(r)
+		w.Header().Set("X-Request-ID", rid)
+	}
+	scoreHist := s.metrics.scoreHistFor(domain)
+	scores := make([]float32, len(probs))
+	for i, p := range probs {
+		scoreHist.Observe(p)
+		scores[i] = float32(p)
+	}
+	s.quality.ObserveScores(domain, probs)
+	s.feedback.Put(rid, quality.PendingPrediction{Domain: domain, Scores: scores})
+	return rid
+}
+
+// handleFeedback joins delayed labels to an earlier prediction. An
+// unknown, expired, or already-consumed request ID is a 404 (and a
+// feedback-miss in the metrics); labels that do not align with the
+// original pair count are a 400, and consume the pending entry — a
+// malformed join cannot be retried into a double count.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var req FeedbackRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad json: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.RequestID == "" {
+		http.Error(w, "request_id required", http.StatusBadRequest)
+		return
+	}
+	pending, ok := s.feedback.Take(req.RequestID)
+	s.quality.SyncEvictions(s.feedback.Evictions())
+	if !ok {
+		s.quality.FeedbackMissed()
+		http.Error(w, "unknown or expired request_id", http.StatusNotFound)
+		return
+	}
+	if len(req.Labels) != len(pending.Scores) {
+		http.Error(w, fmt.Sprintf("%d labels for %d predictions", len(req.Labels), len(pending.Scores)),
+			http.StatusBadRequest)
+		return
+	}
+	scores := make([]float64, len(pending.Scores))
+	labels := make([]bool, len(req.Labels))
+	for i := range pending.Scores {
+		scores[i] = float64(pending.Scores[i])
+		labels[i] = req.Labels[i] > 0.5
+	}
+	s.quality.ObserveLabeled(pending.Domain, scores, labels)
+	s.quality.FeedbackJoined()
+	s.writeJSON(w, r, FeedbackResponse{Domain: pending.Domain, Joined: len(labels)})
+}
+
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		snap := s.snap.Load()
-		writeJSON(w, DomainsResponse{NumDomains: len(snap.composed), Names: snap.names})
+		s.writeJSON(w, r, DomainsResponse{NumDomains: len(snap.composed), Names: snap.names})
 	case http.MethodPost:
-		writeJSON(w, AddDomainResponse{ID: s.AddDomain()})
+		s.writeJSON(w, r, AddDomainResponse{ID: s.AddDomain()})
 	default:
 		http.Error(w, "GET or POST", http.StatusMethodNotAllowed)
 	}
@@ -421,13 +531,30 @@ func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 
 // writeJSON encodes v into a buffer before touching the ResponseWriter,
 // so an encoding failure can still produce a clean 500 instead of a 200
-// header followed by a truncated body.
-func writeJSON(w http.ResponseWriter, v any) {
+// header followed by a truncated body. A failed body write — the client
+// hung up, or the connection broke mid-response — cannot be reported to
+// the client anymore, so it is counted (mamdr_serve_write_failures_total)
+// and logged once per request ID instead of being silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	var buf bytes.Buffer
 	if err := json.NewEncoder(&buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(buf.Bytes())
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		s.metrics.writeFailure()
+		if sw, ok := w.(*statusWriter); ok {
+			if sw.writeFailLogged {
+				return
+			}
+			sw.writeFailLogged = true
+		}
+		if s.opts.AccessLog != nil {
+			s.opts.AccessLog.LogAttrs(r.Context(), slog.LevelWarn, "response write failed",
+				slog.String("request_id", w.Header().Get("X-Request-ID")),
+				slog.String("path", r.URL.Path),
+				slog.String("error", err.Error()))
+		}
+	}
 }

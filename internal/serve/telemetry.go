@@ -20,17 +20,19 @@ import (
 type serveMetrics struct {
 	reg *telemetry.Registry
 
-	poolWait     *telemetry.Histogram
-	poolTimeouts *telemetry.Counter
-	saturation   *telemetry.Gauge
-	poolSize     *telemetry.Gauge
+	poolWait      *telemetry.Histogram
+	poolTimeouts  *telemetry.Counter
+	saturation    *telemetry.Gauge
+	poolSize      *telemetry.Gauge
+	writeFailures *telemetry.Counter
 
-	// codeCounters and latencies cache instrument pointers so the hot
-	// request path skips the registry's mutex-guarded lookup (the
-	// registry is get-or-create, so a racing double-create is benign —
-	// both callers get the same series).
+	// codeCounters, latencies, and scoreHists cache instrument pointers
+	// so the hot request path skips the registry's mutex-guarded lookup
+	// (the registry is get-or-create, so a racing double-create is
+	// benign — both callers get the same series).
 	codeCounters sync.Map // int -> *telemetry.Counter
 	latencies    sync.Map // string -> *telemetry.Histogram
+	scoreHists   sync.Map // string -> *telemetry.Histogram
 
 	inflight atomic.Int64
 	replicas int
@@ -50,6 +52,8 @@ func newServeMetrics(reg *telemetry.Registry, replicas int) *serveMetrics {
 			"In-flight predictions divided by the replica-pool size."),
 		poolSize: reg.Gauge("mamdr_serve_replica_pool_size",
 			"Configured model-replica pool size."),
+		writeFailures: reg.Counter("mamdr_serve_write_failures_total",
+			"Response body writes that failed after headers were sent (client gone, broken pipe)."),
 		replicas: replicas,
 	}
 	m.poolSize.Set(float64(replicas))
@@ -85,6 +89,30 @@ func (m *serveMetrics) latencyFor(domain string) *telemetry.Histogram {
 		"Prediction latency by domain.", telemetry.DefBuckets, telemetry.L("domain", domain))
 	m.latencies.Store(domain, h)
 	return h
+}
+
+// scoreHistFor returns the per-domain served-score histogram — the
+// live score distribution, the raw material of drift detection.
+func (m *serveMetrics) scoreHistFor(domain string) *telemetry.Histogram {
+	if m == nil {
+		return nil
+	}
+	if v, ok := m.scoreHists.Load(domain); ok {
+		return v.(*telemetry.Histogram)
+	}
+	h := m.reg.Histogram("mamdr_serve_scores",
+		"Predicted click probabilities by domain.",
+		telemetry.LinearBuckets(0.1, 0.1, 9), telemetry.L("domain", domain))
+	m.scoreHists.Store(domain, h)
+	return h
+}
+
+// writeFailure counts one failed response-body write.
+func (m *serveMetrics) writeFailure() {
+	if m == nil {
+		return
+	}
+	m.writeFailures.Inc()
 }
 
 // acquire/release bracket a replica checkout and keep the saturation
@@ -138,6 +166,9 @@ type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	bytes int
+	// writeFailLogged suppresses repeat write-failure log lines for the
+	// same request (the counter still counts every failure).
+	writeFailLogged bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster smoke-obs smoke-quality ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster smoke-obs smoke-quality smoke-rollout ci check
 
 all: check
 
@@ -147,6 +147,67 @@ smoke-quality:
 		print('ok: drift fired', r['firing'], 'worst domain', w['domain'])"
 	@echo "ok: matched traffic quiet, drifted traffic fired the quality SLOs"
 
+# The CI rollout-smoke job locally: one serving process seeded from a
+# clean checkpoint with the canary gate on. Re-publishing the clean
+# snapshot must auto-promote (the traffic driver mirrors every batch to
+# both arms via precomputed X-Request-IDs, so identical weights show a
+# zero quality gap); publishing a label-flipped checkpoint must
+# auto-roll-back with zero client-visible errors (the driver fails on
+# any non-2xx), the incumbent must keep serving afterwards, and the
+# rollback must burn the rollout-rollbacks SLO in mamdr-obs. A final
+# restart with an injected serve-path fault proves the chaos schedule
+# reaches /predict and is contained to one request.
+smoke-rollout:
+	$(GO) build -o /tmp/mamdr-bin/ ./cmd/mamdr-train ./cmd/mamdr-serve ./cmd/mamdr-obs ./cmd/datagen
+	/tmp/mamdr-bin/datagen -preset taobao-10 -samples 2000 -seed 7 -out /tmp/rollout-ds.json
+	/tmp/mamdr-bin/mamdr-train -preset taobao-10 -samples 2000 -seed 7 -epochs 4 \
+		-save /tmp/rollout-clean.ckpt >/tmp/rollout-train.log 2>&1
+	/tmp/mamdr-bin/mamdr-train -preset taobao-10 -samples 2000 -seed 7 -epochs 4 \
+		-flip-labels -save /tmp/rollout-poison.ckpt >>/tmp/rollout-train.log 2>&1
+	grep 'flip-labels' /tmp/rollout-train.log
+	/tmp/mamdr-bin/mamdr-serve -preset taobao-10 -samples 2000 -seed 7 \
+		-checkpoint /tmp/rollout-clean.ckpt -addr 127.0.0.1:8086 -access-log off \
+		-canary-fraction 0.5 -rollout-min-labeled 48 -rollout-min-scores 64 \
+		-rollout-max-wait 2m \
+		>/tmp/rollout-serve.log 2>&1 & echo $$! > /tmp/rollout-serve.pid
+	for i in `seq 90`; do curl -sf 127.0.0.1:8086/healthz >/dev/null 2>&1 && break; \
+		kill -0 `cat /tmp/rollout-serve.pid` || { cat /tmp/rollout-serve.log; exit 1; }; sleep 1; done
+	grep 'loaded checkpoint' /tmp/rollout-serve.log
+	curl -sf 127.0.0.1:8086/readyz | grep 'ready v1'
+	curl -sf -XPOST -d '{"path":"/tmp/rollout-clean.ckpt"}' 127.0.0.1:8086/admin/publish
+	curl -sf 127.0.0.1:8086/readyz | grep 'canary v2 at 50%'
+	python3 scripts/rollout_traffic.py --base http://127.0.0.1:8086 \
+		--data /tmp/rollout-ds.json --fraction 0.5 --repeat 2
+	grep 'rollout_decision=promote version=2 reason=clean' /tmp/rollout-serve.log
+	curl -sf 127.0.0.1:8086/readyz | grep 'ready v2'
+	/tmp/mamdr-bin/mamdr-obs -scrape serve=127.0.0.1:8086 \
+		-interval 500ms -run-for 25s -slo-fast -addr 127.0.0.1:9620 \
+		-events /tmp/rollout-events.jsonl >/tmp/rollout-obs.txt 2>&1 & \
+	sleep 0.7; \
+	curl -sf -XPOST -d '{"path":"/tmp/rollout-poison.ckpt"}' 127.0.0.1:8086/admin/publish; \
+	curl -sf 127.0.0.1:8086/readyz > /tmp/rollout-canary-readyz.txt; \
+	python3 scripts/rollout_traffic.py --base http://127.0.0.1:8086 \
+		--data /tmp/rollout-ds.json --fraction 0.5 --repeat 2; \
+	wait
+	grep 'canary v3 at 50%' /tmp/rollout-canary-readyz.txt
+	grep -E 'rollout_decision=rollback version=3 reason=(psi|auc|logloss)' /tmp/rollout-serve.log
+	curl -sf 127.0.0.1:8086/readyz | grep 'ready v2 crc='
+	curl -s 127.0.0.1:8086/metrics | grep -E 'mamdr_rollout_decisions_total\{decision="rollback"'
+	grep -E 'alerts_fired=[1-9]' /tmp/rollout-obs.txt
+	grep '"slo":"rollout-rollbacks"' /tmp/rollout-events.jsonl >/dev/null
+	kill `cat /tmp/rollout-serve.pid`
+	/tmp/mamdr-bin/mamdr-serve -preset taobao-10 -samples 2000 -seed 7 \
+		-checkpoint /tmp/rollout-clean.ckpt -addr 127.0.0.1:8087 -access-log off \
+		-rollout=false -serve-faults 'Predict:err@1' \
+		>/tmp/rollout-chaos.log 2>&1 & echo $$! > /tmp/rollout-chaos.pid
+	for i in `seq 90`; do curl -sf 127.0.0.1:8087/healthz >/dev/null 2>&1 && break; \
+		kill -0 `cat /tmp/rollout-chaos.pid` || { cat /tmp/rollout-chaos.log; exit 1; }; sleep 1; done
+	test "$$(curl -s -o /dev/null -w '%{http_code}' -XPOST \
+		-d '{"domain":0,"users":[0],"items":[0]}' 127.0.0.1:8087/predict)" = 500
+	curl -sf -XPOST -d '{"domain":0,"users":[0],"items":[0]}' 127.0.0.1:8087/predict >/dev/null
+	kill `cat /tmp/rollout-chaos.pid`
+	@echo "ok: clean publish promoted, poisoned publish rolled back, injected predict fault contained"
+
 # The PS, cluster, and serving paths are the concurrent hot spots; keep
 # them race-clean.
 race:
@@ -189,5 +250,6 @@ ci:
 	$(MAKE) smoke-cluster
 	$(MAKE) smoke-obs
 	$(MAKE) smoke-quality
+	$(MAKE) smoke-rollout
 
 check: vet build test race

@@ -30,11 +30,14 @@ import (
 	"mamdr/internal/cluster"
 	"mamdr/internal/core"
 	"mamdr/internal/data"
+	"mamdr/internal/faultinject"
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/obsv"
+	"mamdr/internal/paramvec"
 	"mamdr/internal/ps"
 	"mamdr/internal/quality"
+	"mamdr/internal/rollout"
 	"mamdr/internal/serve"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
@@ -74,6 +77,14 @@ func main() {
 
 		profileDir      = flag.String("profile-dir", "", "continuous profiling: keep a ring of CPU+heap pprof profiles in this directory")
 		profileInterval = flag.Duration("profile-interval", 30*time.Second, "continuous-profiling capture cadence (with -profile-dir)")
+
+		withRollout    = flag.Bool("rollout", true, "canary-gate live publications (POST /admin/publish): new snapshots take a traffic fraction and auto-promote or auto-rollback on live quality")
+		canaryFraction = flag.Float64("canary-fraction", 0.2, "traffic share the canary snapshot takes during evaluation")
+		rolloutLabeled = flag.Int("rollout-min-labeled", 0, "labeled observations per arm before the AUC/logloss gates may decide (0 = default 200)")
+		rolloutScores  = flag.Int("rollout-min-scores", 0, "served scores per arm before the PSI gate may decide (0 = default 500)")
+		rolloutMaxWait = flag.Duration("rollout-max-wait", 0, "fail-safe: a canary still unproven after this long is rolled back (0 = default 10m)")
+		maxQueue       = flag.Int("max-queue", 0, "admission control: shed predictions once this many queue beyond the replica pool (0 = 4×replicas)")
+		serveFaults    = flag.String("serve-faults", "", "serving-path fault schedule (op:kind@occurrences; ops: Predict, PublishSource, UpstreamPing, UpstreamSnapshot), seeded by -seed")
 	)
 	flag.Parse()
 	kernels.SetThreads(*kernelThreads)
@@ -95,21 +106,32 @@ func main() {
 		log.Fatalf("predictor is %T, want *core.State", res.Predictor)
 	}
 	var ckptBaseline *quality.Baseline
+	var initialCRC uint32
 	if *checkpoint != "" {
+		env, err := core.EnvelopeInfo(*checkpoint)
+		if err != nil {
+			log.Fatalf("checkpoint envelope: %v", err)
+		}
+		initialCRC = env.CRC
 		b, err := state.LoadWithBaseline(*checkpoint)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ckptBaseline = b
-		log.Printf("loaded checkpoint %s", *checkpoint)
+		log.Printf("loaded checkpoint %s (envelope v%d, crc %08x, %d payload bytes)",
+			*checkpoint, env.Version, env.CRC, env.PayloadBytes)
 	} else {
 		log.Printf("trained %s on %s: mean test AUC %.4f", *model, ds.Name, res.MeanTestAUC)
 	}
 
 	// Cluster-backed state: pull the shared parameters straight from a
-	// running shard cluster (the one mamdr-train -ps-serve hosts) and
-	// keep per-shard probe clients so /readyz reflects PS connectivity.
-	var upstream func() error
+	// running shard cluster (the one mamdr-train -ps-serve hosts). The
+	// initial load retries with seeded backoff — a serve process racing
+	// its cluster at startup waits for it instead of dying on the first
+	// connection refusal — and the cluster stays wired in as the
+	// Upstream: /readyz probes it through the circuit breaker, and
+	// POST /admin/publish {"source":"upstream"} pulls fresh snapshots.
+	var upstream *serve.Upstream
 	if *psAddrs != "" {
 		groups := parseShardAddrs(*psAddrs)
 		if len(groups) == 0 {
@@ -117,13 +139,31 @@ func main() {
 		}
 		serving := models.MustNew(*model, models.Config{Dataset: ds, EmbDim: *embDim, Seed: *seed})
 		plan := ps.NewPlan(ps.LayoutOf(serving.Parameters(), models.EmbeddingTablesOf(serving)), len(groups), *seed)
-		router, err := cluster.Dial(plan, groups, nil, cluster.Options{})
+		dialCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		router, snap, err := cluster.DialSnapshot(dialCtx, plan, groups, nil, cluster.Options{}, ps.Backoff{Seed: *seed})
+		cancel()
 		if err != nil {
 			log.Fatalf("-ps-addrs: %v", err)
 		}
-		state.Shared = router.Snapshot()
+		router.Close() // probes and publishes dial fresh; a condemned replica must not linger
+		state.Shared = snap
 		log.Printf("loaded shared parameters from %d-shard cluster at %s", len(groups), *psAddrs)
-		upstream = shardProber(groups)
+		upstream = &serve.Upstream{
+			Ping: shardProber(groups),
+			// Each pull dials a fresh router: shard condemnation inside a
+			// Router is permanent, so a long-lived one would go stale after
+			// any transient loss. Publishes are rare; the dial is cheap.
+			Snapshot: func() (paramvec.Vector, error) {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				r, v, err := cluster.DialSnapshot(ctx, plan, groups, nil, cluster.Options{}, ps.Backoff{Seed: *seed})
+				if err != nil {
+					return nil, err
+				}
+				r.Close()
+				return v, nil
+			},
+		}
 	}
 
 	var reg *telemetry.Registry
@@ -194,15 +234,34 @@ func main() {
 		}
 	}
 
+	var faults *faultinject.Injector
+	if *serveFaults != "" {
+		faults, err = faultinject.Parse(*serveFaults, *seed)
+		if err != nil {
+			log.Fatalf("-serve-faults: %v", err)
+		}
+		log.Printf("serving-path fault injection armed: %s (seed %d)", *serveFaults, *seed)
+	}
+
+	publishInfo := obsv.SnapshotInfoPublisher(reg, "serve")
 	srv := serve.NewWithOptions(state, ds, serve.Options{
-		Replicas:       *replicas,
-		RequestTimeout: *timeout,
-		Metrics:        reg,
-		AccessLog:      logger,
-		Tracer:         tracer,
-		Upstream:       upstream,
-		Quality:        tracker,
-		FeedbackTTL:    *feedbackTTL,
+		Replicas:        *replicas,
+		RequestTimeout:  *timeout,
+		MaxQueue:        *maxQueue,
+		ShedSeed:        *seed,
+		Metrics:         reg,
+		AccessLog:       logger,
+		Tracer:          tracer,
+		Upstream:        upstream,
+		UpstreamBackoff: ps.Backoff{Seed: *seed},
+		Quality:         tracker,
+		FeedbackTTL:     *feedbackTTL,
+		Faults:          faults,
+		InitialCRC:      initialCRC,
+		OnSwap: func(version uint64, crc uint32) {
+			publishInfo(version, crc)
+			log.Printf("snapshot v%d (crc %08x) is now the incumbent", version, crc)
+		},
 		// Replicas mirror the trained model's structure (same Config,
 		// including Seed); their initial weights are irrelevant because
 		// every prediction restores a precomposed snapshot first.
@@ -210,6 +269,29 @@ func main() {
 			return models.MustNew(*model, models.Config{Dataset: ds, EmbDim: *embDim, Seed: *seed})
 		},
 	})
+	publishInfo(1, initialCRC)
+
+	// The canary gate: serve routes traffic and reports observations,
+	// the controller decides, the Fleet interface (srv) executes. A
+	// ticker arms the fail-safe deadline so an unproven canary cannot
+	// fly forever on a quiet service.
+	if *withRollout {
+		ctrl := rollout.New(srv, reg, tracer, rollout.Config{
+			Fraction:   *canaryFraction,
+			MinLabeled: *rolloutLabeled,
+			MinScores:  *rolloutScores,
+			MaxWait:    *rolloutMaxWait,
+			OnDecision: func(d rollout.Decision) { log.Print(d.String()) },
+		})
+		srv.SetRollout(ctrl)
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for range t.C {
+				ctrl.Tick()
+			}
+		}()
+	}
 	handler := srv.Handler()
 	if *withPprof {
 		// Mount pprof explicitly instead of relying on the package's
@@ -316,7 +398,7 @@ func parseShardAddrs(s string) [][]string {
 // shardProber dials one probe client per shard replica and returns the
 // /readyz upstream check: every replica must answer a Ping within a
 // second, and the first failure names the shard that is down.
-func shardProber(groups [][]string) func() error {
+func shardProber(groups [][]string) func(context.Context) error {
 	type probe struct {
 		sh, rep int
 		cl      *ps.Client
@@ -331,8 +413,8 @@ func shardProber(groups [][]string) func() error {
 			probes = append(probes, probe{sh, rep, cl})
 		}
 	}
-	return func() error {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	return func(ctx context.Context) error {
+		ctx, cancel := context.WithTimeout(ctx, time.Second)
 		defer cancel()
 		for _, p := range probes {
 			if err := p.cl.Ping(ctx); err != nil {

@@ -90,6 +90,7 @@ func main() {
 		checkpointEvery = flag.Int("checkpoint-every", 1, "checkpoint cadence in epochs (with -checkpoint-dir)")
 		resume          = flag.Bool("resume", false, "resume from the last checkpoint in -checkpoint-dir (bit-identical to an uninterrupted run under the same seed)")
 		savePath        = flag.String("save", "", "save the trained state with a quality baseline profiled on the validation split (loadable by mamdr-serve -checkpoint)")
+		flipLabels      = flag.Bool("flip-labels", false, "invert every interaction label before training — produces a deliberately quality-regressed model for rollout/rollback drills")
 	)
 	flag.Parse()
 	kernels.SetThreads(*kernelThreads)
@@ -108,6 +109,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *flipLabels {
+		// The drill model: structurally identical to an honest run, but
+		// trained against inverted labels, so its live quality is reliably
+		// worse — exactly what a canary gate must catch and roll back.
+		for _, dom := range ds.Domains {
+			for _, split := range [][]data.Interaction{dom.Train, dom.Val, dom.Test} {
+				for i := range split {
+					split[i].Label = 1 - split[i].Label
+				}
+			}
+		}
+		log.Printf("flip-labels: inverted every label in %s — this model is deliberately poisoned", ds.Name)
 	}
 
 	// Tracing: the tracer is built whenever -trace/-flight-dump asks for
@@ -272,7 +286,14 @@ func main() {
 		if err := st.SaveWithBaseline(*savePath, framework.QualityBaseline(st, ds, data.Val)); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("saved state + quality baseline to %s", *savePath)
+		// Surface the envelope identity the serving fleet will key the
+		// publication to — the version/CRC pair /admin/publish verifies.
+		if env, err := core.EnvelopeInfo(*savePath); err != nil {
+			log.Fatalf("-save: reading back envelope: %v", err)
+		} else {
+			log.Printf("saved state + quality baseline to %s (envelope v%d, crc %08x, %d payload bytes)",
+				*savePath, env.Version, env.CRC, env.PayloadBytes)
+		}
 	}
 
 	if exporter != nil {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestEnvelopeInfoMatchesFile pins the publication key: EnvelopeInfo
+// reports the version this build writes and the CRC of the actual
+// payload bytes, without decoding the payload.
+func TestEnvelopeInfoMatchesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.ckpt")
+	if err := SaveGob(path, map[string]int{"a": 1, "b": 2}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := EnvelopeInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Version != checkpointVersion {
+		t.Fatalf("Version = %d, want %d", env.Version, checkpointVersion)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := raw[headerLen:]
+	if env.PayloadBytes != uint64(len(payload)) {
+		t.Fatalf("PayloadBytes = %d, file has %d", env.PayloadBytes, len(payload))
+	}
+	if want := crc32.ChecksumIEEE(payload); env.CRC != want {
+		t.Fatalf("CRC = %08x, payload hashes to %08x", env.CRC, want)
+	}
+}
+
+// TestEnvelopeInfoRejectsDamage is the reject-before-publish property:
+// every way a snapshot file can be damaged — flipped payload bit,
+// truncation, wrong magic — surfaces as ErrCorruptCheckpoint from the
+// envelope check alone, so a publisher never builds from a bad file.
+func TestEnvelopeInfoRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ckpt")
+	if err := SaveGob(good, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damage := map[string]func([]byte) []byte{
+		"flipped payload bit": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[headerLen+2] ^= 0x40
+			return c
+		},
+		"truncated payload": func(b []byte) []byte {
+			return append([]byte(nil), b[:len(b)-3]...)
+		},
+		"truncated header": func(b []byte) []byte {
+			return append([]byte(nil), b[:headerLen-2]...)
+		},
+		"bad magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			copy(c[:8], "NOTMAMDR")
+			return c
+		},
+	}
+	for name, mutate := range damage {
+		path := filepath.Join(dir, "bad.ckpt")
+		if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := EnvelopeInfo(path); !errors.Is(err, ErrCorruptCheckpoint) {
+			t.Errorf("%s: EnvelopeInfo = %v, want ErrCorruptCheckpoint", name, err)
+		}
+	}
+
+	// An out-of-range envelope version is a capability mismatch, not
+	// corruption — it fails, but with a version message.
+	future := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint32(future[8:12], checkpointVersion+1)
+	path := filepath.Join(dir, "future.ckpt")
+	if err := os.WriteFile(path, future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnvelopeInfo(path); err == nil || errors.Is(err, ErrCorruptCheckpoint) {
+		t.Errorf("future version: EnvelopeInfo = %v, want a version error", err)
+	}
+
+	if _, err := EnvelopeInfo(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("missing file: EnvelopeInfo succeeded")
+	}
+}

@@ -144,6 +144,64 @@ func LoadGobVersion(path string, v any) (uint32, error) {
 	return ver, nil
 }
 
+// Envelope describes a checkpoint file's identity without decoding its
+// payload: the format version it was written with and the CRC32 the
+// payload must hash to. The (Version, CRC) pair is what the serving
+// fleet keys a snapshot publication to — two files with the same pair
+// carry bit-identical parameters.
+type Envelope struct {
+	// Version is the envelope format version (checkpointVersion at
+	// write time).
+	Version uint32
+	// CRC is the IEEE CRC32 of the gob payload.
+	CRC uint32
+	// PayloadBytes is the payload length the header promises.
+	PayloadBytes uint64
+}
+
+// EnvelopeInfo reads and verifies a checkpoint file's envelope — magic,
+// version range, payload length, and CRC over the actual bytes — without
+// gob-decoding the payload. Integrity failures wrap
+// ErrCorruptCheckpoint, exactly as LoadGob would report them, so a
+// publisher can reject a damaged snapshot before building anything
+// from it.
+func EnvelopeInfo(path string) (Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("core: open %s: %w", path, err)
+	}
+	defer f.Close()
+
+	var head [headerLen]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return Envelope{}, fmt.Errorf("core: %s: header unreadable (%v): %w", path, err, ErrCorruptCheckpoint)
+	}
+	if string(head[:8]) != checkpointMagic {
+		return Envelope{}, fmt.Errorf("core: %s: not a MAMDR checkpoint (bad magic): %w", path, ErrCorruptCheckpoint)
+	}
+	env := Envelope{
+		Version:      binary.LittleEndian.Uint32(head[8:12]),
+		PayloadBytes: binary.LittleEndian.Uint64(head[12:20]),
+		CRC:          binary.LittleEndian.Uint32(head[20:24]),
+	}
+	if env.Version < checkpointMinVersion || env.Version > checkpointVersion {
+		return Envelope{}, fmt.Errorf("core: %s: checkpoint format v%d, this build reads v%d..v%d",
+			path, env.Version, checkpointMinVersion, checkpointVersion)
+	}
+	payload, err := io.ReadAll(f)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("core: read %s: %w", path, err)
+	}
+	if uint64(len(payload)) != env.PayloadBytes {
+		return Envelope{}, fmt.Errorf("core: %s: payload is %d bytes, header promises %d (truncated write?): %w",
+			path, len(payload), env.PayloadBytes, ErrCorruptCheckpoint)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != env.CRC {
+		return Envelope{}, fmt.Errorf("core: %s: CRC mismatch (corrupted on disk): %w", path, ErrCorruptCheckpoint)
+	}
+	return env, nil
+}
+
 // Checkpoint is the serializable form of a trained MAMDR state: the
 // shared parameter vector and every domain's specific vector, plus an
 // optional resume cursor (completed-epoch count and the DN outer

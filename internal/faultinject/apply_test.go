@@ -1,0 +1,54 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestApplyEnforcesVerdicts covers the non-transport consumption path
+// the serving fleet uses: the zero Fault is a no-op, an err verdict
+// surfaces as the InjectedError, a drop with no connection to drop
+// still blocks the call, and a delay honors context cancellation
+// instead of sleeping through a caller's deadline.
+func TestApplyEnforcesVerdicts(t *testing.T) {
+	if err := (Fault{}).Apply(context.Background()); err != nil {
+		t.Fatalf("zero fault: %v", err)
+	}
+	if err := (Fault{}).Apply(nil); err != nil {
+		t.Fatalf("zero fault, nil ctx: %v", err)
+	}
+
+	in := MustParse("Predict:err@1", 1)
+	err := in.Eval("Predict").Apply(context.Background())
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Op != "Predict" || inj.Kind != KindErr {
+		t.Fatalf("err verdict: %v", err)
+	}
+
+	err = (Fault{DropConn: true}).Apply(context.Background())
+	if !errors.As(err, &inj) || inj.Kind != KindDrop {
+		t.Fatalf("drop verdict: %v", err)
+	}
+
+	// A delayed err sleeps, then fails.
+	start := time.Now()
+	err = (Fault{Delay: 5 * time.Millisecond, Err: &InjectedError{Op: "x", Kind: KindErr}}).Apply(context.Background())
+	if errors.As(err, &inj); inj == nil || time.Since(start) < 5*time.Millisecond {
+		t.Fatalf("delayed err: err=%v elapsed=%v", err, time.Since(start))
+	}
+
+	// A dead context aborts the sleep with the context's error, not the
+	// injected one.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	err = (Fault{Delay: 10 * time.Second, Err: &InjectedError{Op: "x", Kind: KindErr}}).Apply(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled delay: %v", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("cancelled delay slept %v", time.Since(start))
+	}
+}

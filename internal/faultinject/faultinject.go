@@ -24,6 +24,11 @@
 //
 // Faults surface to the caller as a Fault value; the transport (the
 // ps RPC client, or ps.FaultyStore for in-process stores) applies it.
+// Non-transport callers use Fault.Apply. The serving fleet evaluates
+// the same grammar under its own operation names: "Predict" (a slow or
+// failing model replica), "PublishSource" (reading a snapshot for
+// /admin/publish), and "UpstreamPing"/"UpstreamSnapshot" (the serve→PS
+// circuit-breaker path).
 // Every injected fault is tallied per (op, kind), optionally mirrored
 // into a telemetry registry, so flight-recorder dumps and dashboards
 // can tell injected failures from organic ones.
@@ -37,6 +42,7 @@
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -81,6 +87,36 @@ type Fault struct {
 	Err      error
 	Delay    time.Duration
 	DropConn bool
+}
+
+// Apply enforces the verdict in order for callers that are not a
+// transport: sleep the Delay (abandoned early with ctx.Err() if the
+// context dies first), then return the Err, treating DropConn as an
+// error too — a caller with no connection to drop still must not
+// proceed. A nil ctx means no cancellation. This is how non-RPC code
+// paths (the serving pool, publish sources, upstream probes) consume
+// the same schedule grammar the PS transport does.
+func (f Fault) Apply(ctx context.Context) error {
+	if f.Delay > 0 {
+		if ctx == nil {
+			time.Sleep(f.Delay)
+		} else {
+			t := time.NewTimer(f.Delay)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	if f.Err != nil {
+		return f.Err
+	}
+	if f.DropConn {
+		return &InjectedError{Op: "conn", Kind: KindDrop}
+	}
+	return nil
 }
 
 // rule is one parsed schedule entry.

@@ -196,6 +196,17 @@ func DefaultSLOs() []SLO {
 			Bad:         Selector{Families: []string{"mamdr_quality_calibration_breaches_total"}},
 			MaxEvents:   5,
 		},
+		// A canary auto-rollback means a bad snapshot reached the serving
+		// fleet and the gate caught it — the system worked, but the
+		// publication pipeline shipped a regression. One is an incident;
+		// promotions burn nothing.
+		{
+			Name:        "rollout-rollbacks",
+			Description: "Canary auto-rollbacks are incidents: at most 1 per hour.",
+			Bad: Selector{Families: []string{"mamdr_rollout_decisions_total"},
+				Match: []telemetry.Label{telemetry.L("decision", "rollback")}},
+			MaxEvents: 1,
+		},
 	}
 }
 

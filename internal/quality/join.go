@@ -12,6 +12,12 @@ type PendingPrediction struct {
 	Domain string
 	// Scores are the predicted probabilities, in request order.
 	Scores []float32
+	// Version is the serving snapshot version that produced the scores,
+	// stamped at predict time. Feedback arriving after a snapshot swap
+	// is attributed to the model that actually scored it — during a
+	// canary, labels for the incumbent's predictions must never leak
+	// into the canary's evaluation windows (and vice versa).
+	Version uint64
 }
 
 // JoinBuffer joins delayed feedback labels to earlier predictions by
@@ -29,9 +35,9 @@ type PendingPrediction struct {
 // pointer-free, which is what holds the quality-enabled serving
 // benchmark inside the telemetry budget.
 type JoinBuffer struct {
-	ttl  int64 // nanoseconds
-	max  int
-	now  func() time.Time
+	ttl int64 // nanoseconds
+	max int
+	now func() time.Time
 
 	mu    sync.Mutex
 	slots []joinSlot

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAdmissionVerdict(t *testing.T) {
+	ms := time.Millisecond
+	cases := []struct {
+		name     string
+		pending  int64
+		replicas int
+		maxQueue int
+		svc      time.Duration
+		deadline time.Duration
+		want     string
+	}{
+		{"idle", 1, 2, 4, ms, 100 * ms, ""},
+		{"all replicas busy, no queue", 2, 2, 4, ms, 100 * ms, ""},
+		{"queue within bounds", 5, 2, 4, 0, 100 * ms, ""},
+		{"queue overflow", 7, 2, 4, 0, 100 * ms, "queue_full"},
+		{"deep overflow", 100, 2, 4, 0, 100 * ms, "queue_full"},
+		{"deadline unreachable", 5, 2, 4, 100 * ms, 100 * ms, "deadline"},
+		{"slow service but short queue", 3, 2, 4, 100 * ms, 100 * ms, ""},
+		{"no service estimate disables deadline", 5, 2, 8, 0, ms, ""},
+		{"single replica deadline", 3, 1, 8, 10 * ms, 15 * ms, "deadline"},
+	}
+	for _, c := range cases {
+		if got := admissionVerdict(c.pending, c.replicas, c.maxQueue, c.svc, c.deadline); got != c.want {
+			t.Errorf("%s: admissionVerdict(%d, %d, %d, %v, %v) = %q, want %q",
+				c.name, c.pending, c.replicas, c.maxQueue, c.svc, c.deadline, got, c.want)
+		}
+	}
+}
+
+func TestObserveServiceTimeEWMA(t *testing.T) {
+	s := &Server{}
+	if s.serviceTime() != 0 {
+		t.Fatalf("initial service time = %v, want 0", s.serviceTime())
+	}
+	s.observeServiceTime(100 * time.Millisecond)
+	if got := s.serviceTime(); got != 100*time.Millisecond {
+		t.Fatalf("first observation = %v, want 100ms (seeded, not blended with zero)", got)
+	}
+	s.observeServiceTime(0)
+	if got := s.serviceTime(); got < 79*time.Millisecond || got > 81*time.Millisecond {
+		t.Fatalf("after 0 observation = %v, want ~80ms (alpha %.1f)", got, ewmaAlpha)
+	}
+}
+
+// TestShedFailsFast is the saturation acceptance check: a request that
+// the admission gate rejects must fail in well under 5ms — before the
+// body is even decoded — with a jittered Retry-After, and the gate must
+// reopen as soon as the pressure is gone.
+func TestShedFailsFast(t *testing.T) {
+	st, ds, _ := testState(t)
+	s := NewWithOptions(st, ds, Options{MaxQueue: 4})
+	h := s.Handler()
+	req := PredictRequest{Domain: 0, Users: []int{0}, Items: []int{0}}
+
+	// Simulate a saturated handler: pending far beyond replicas+queue.
+	s.pending.Add(20)
+	start := time.Now()
+	w := postJSON(t, h, "/predict", req)
+	elapsed := time.Since(start)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("shed predict = %d, want 503: %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), "overloaded (queue_full)") {
+		t.Fatalf("shed body = %q", w.Body.String())
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 3 {
+		t.Fatalf("Retry-After = %q, want 1-3", w.Header().Get("Retry-After"))
+	}
+	if elapsed >= 5*time.Millisecond {
+		t.Fatalf("shed took %v, want <5ms", elapsed)
+	}
+
+	s.pending.Add(-20)
+	if w := postJSON(t, h, "/predict", req); w.Code != http.StatusOK {
+		t.Fatalf("predict after pressure released = %d: %s", w.Code, w.Body)
+	}
+}
+
+// TestRetryAfterJitterIsSeeded: the jitter sequence is a pure function
+// of ShedSeed, so drills replay bit-identically.
+func TestRetryAfterJitterIsSeeded(t *testing.T) {
+	st, ds, _ := testState(t)
+	seq := func() []int {
+		s := NewWithOptions(st, ds, Options{ShedSeed: 42})
+		var out []int
+		for i := 0; i < 8; i++ {
+			out = append(out, s.retryAfter())
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("jitter diverged at %d: %v vs %v", i, a, b)
+		}
+		if a[i] < 1 || a[i] > 3 {
+			t.Fatalf("jitter %d out of range 1-3", a[i])
+		}
+	}
+}
+
+// BenchmarkShedUnderSaturation measures the fail-fast path end to end
+// through the handler chain — the cost of telling a client to go away
+// while the pool is drowning.
+func BenchmarkShedUnderSaturation(b *testing.B) {
+	st, ds, _ := testState(b)
+	s := NewWithOptions(st, ds, Options{MaxQueue: 4})
+	h := s.Handler()
+	s.pending.Add(100)
+	body, _ := marshalPredict(PredictRequest{Domain: 0, Users: []int{0}, Items: []int{0}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := newPredictRequest(body)
+		w := &discardResponseWriter{h: make(http.Header)}
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusServiceUnavailable {
+			b.Fatalf("code = %d", w.code)
+		}
+	}
+}
+
+// BenchmarkPredictUnloaded is the contrast benchmark: the same request
+// when the pool is free.
+func BenchmarkPredictUnloaded(b *testing.B) {
+	st, ds, _ := testState(b)
+	s := NewWithOptions(st, ds, Options{})
+	h := s.Handler()
+	body, _ := marshalPredict(PredictRequest{Domain: 0, Users: []int{0}, Items: []int{0}})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := newPredictRequest(body)
+		w := &discardResponseWriter{h: make(http.Header)}
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("code = %d", w.code)
+		}
+	}
+}
+
+// --- benchmark plumbing ---
+
+func marshalPredict(r PredictRequest) ([]byte, error) {
+	return json.Marshal(r)
+}
+
+func newPredictRequest(body []byte) *http.Request {
+	req, _ := http.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+	return req
+}
+
+// discardResponseWriter is a minimal allocation-light recorder.
+type discardResponseWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *discardResponseWriter) Header() http.Header { return w.h }
+func (w *discardResponseWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(b), nil
+}
+func (w *discardResponseWriter) WriteHeader(code int) { w.code = code }

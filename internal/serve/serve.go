@@ -9,9 +9,26 @@
 // snapshot that requests read through an atomic pointer — no global
 // lock and no per-request parameter composition. Forward passes run on
 // a pool of model replicas, so predictions for different requests
-// proceed concurrently. Domain registration and state swaps build a
-// fresh snapshot and publish it atomically; in-flight requests keep
-// serving the snapshot they started with.
+// proceed concurrently. Domain registration, state swaps, and live
+// publications build a fresh snapshot off-path and install it
+// atomically; in-flight requests keep serving the snapshot they
+// started with.
+//
+// Live rollout: Publish stages a new versioned snapshot next to the
+// incumbent. With a rollout gate attached (SetRollout), the new
+// snapshot serves only a canary fraction of traffic — requests are
+// routed deterministically by request-ID hash — while the gate compares
+// the two arms' live quality and then promotes or rolls back through
+// the Fleet interface this server implements. The incumbent snapshot
+// is immutable and stays pinned in memory for the whole evaluation, so
+// a rollback is a pointer drop: post-rollback predictions are
+// bit-identical to never having published.
+//
+// Overload and upstream failure degrade instead of cascading: an
+// admission gate sheds requests (503 + jittered Retry-After) before
+// the replica pool saturates, and a circuit breaker on the serve→PS
+// upstream keeps /readyz green — serving the last good snapshot with a
+// staleness gauge — when the cluster behind it dies.
 package serve
 
 import (
@@ -20,7 +37,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sync"
@@ -30,13 +49,28 @@ import (
 	"mamdr/internal/autograd"
 	"mamdr/internal/core"
 	"mamdr/internal/data"
+	"mamdr/internal/faultinject"
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/paramvec"
+	"mamdr/internal/ps"
 	"mamdr/internal/quality"
+	"mamdr/internal/rollout"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
 )
+
+// Upstream describes the PS cluster backing this server's parameters:
+// a health probe and a snapshot source for live publication. Both are
+// wrapped in the server's circuit breaker and fault-injection hooks.
+type Upstream struct {
+	// Ping probes shard connectivity.
+	Ping func(ctx context.Context) error
+	// Snapshot pulls a fresh shared-parameter vector from the cluster —
+	// the publish source behind POST /admin/publish {"source":"upstream"}.
+	// Optional; nil disables upstream-sourced publication.
+	Snapshot func() (paramvec.Vector, error)
+}
 
 // Options configures the serving path.
 type Options struct {
@@ -69,12 +103,45 @@ type Options struct {
 	// tracer's flight recorder when a prediction times out waiting for
 	// a replica.
 	Tracer *trace.Tracer
-	// Upstream, when non-nil, reports the health of the snapshot
-	// source backing this server — PS/shard connectivity when the
-	// state was loaded from a cluster. /readyz consults it after the
-	// local checks, so a replica whose upstream is gone drops out of
-	// the load balancer before it starts serving stale predictions.
-	Upstream func() error
+	// Upstream, when non-nil, connects this server to the snapshot
+	// source backing it — PS/shard connectivity when the state was
+	// loaded from a cluster. /readyz probes Upstream.Ping after the
+	// local checks, through a circuit breaker: transient failures fail
+	// readiness (the load balancer steers away), but once
+	// UpstreamThreshold consecutive probes fail the breaker opens and
+	// the server degrades instead — /readyz goes green again, serving
+	// the last good snapshot with a staleness gauge, because a dead PS
+	// cluster must not take the whole serving fleet out with it.
+	Upstream *Upstream
+	// UpstreamThreshold is the consecutive-failure count that opens
+	// the upstream circuit breaker. Default 3.
+	UpstreamThreshold int
+	// UpstreamBackoff paces upstream probes while the breaker is open
+	// (zero value takes the ps package defaults).
+	UpstreamBackoff ps.Backoff
+	// MaxQueue bounds how many admitted predictions may wait for a
+	// replica beyond the ones executing; requests past it are shed
+	// immediately (503 + jittered Retry-After) instead of piling onto
+	// the pool. Default 4×Replicas.
+	MaxQueue int
+	// ShedSeed seeds the Retry-After jitter (default 1): deterministic
+	// under test, spread out enough that a synchronized client herd
+	// does not come back as one wave.
+	ShedSeed int64
+	// Faults, when non-nil, injects deterministic serving-path faults
+	// for chaos drills under the operation names "Predict",
+	// "PublishSource", "UpstreamPing", and "UpstreamSnapshot".
+	Faults *faultinject.Injector
+	// OnSwap, when non-nil, runs after a snapshot becomes the incumbent
+	// — every immediate publish, promotion, and state swap — with the
+	// new incumbent's version and envelope CRC (0 when sourced outside
+	// a checkpoint). Called without internal locks held.
+	OnSwap func(version uint64, crc uint32)
+	// InitialVersion and InitialCRC label the snapshot the server boots
+	// with, normally the loaded checkpoint's envelope identity.
+	// InitialVersion defaults to 1.
+	InitialVersion uint64
+	InitialCRC     uint32
 	// Quality, when non-nil, turns on model-quality observability:
 	// every successful prediction feeds per-domain score-distribution
 	// histograms and the tracker's drift windows, responses carry a
@@ -103,6 +170,18 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 1 << 20
 	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.Replicas
+	}
+	if o.ShedSeed == 0 {
+		o.ShedSeed = 1
+	}
+	if o.UpstreamThreshold <= 0 {
+		o.UpstreamThreshold = 3
+	}
+	if o.InitialVersion == 0 {
+		o.InitialVersion = 1
+	}
 	return o
 }
 
@@ -114,6 +193,30 @@ type snapshot struct {
 	// composed[d] is θ_S + θ_d (Eq. 4), ready to load into a replica.
 	composed []paramvec.Vector
 	names    []string
+}
+
+// view is what the request path reads in one atomic load: the
+// incumbent snapshot, the canary snapshot under evaluation (nil when
+// none), and the versions/CRCs that key them to their checkpoint
+// envelopes. Both snapshots are immutable; keeping the incumbent in
+// the same view pins the last known good in memory for the entire
+// canary evaluation, so a rollback is a pointer drop and post-rollback
+// predictions are bit-identical to never having published.
+type view struct {
+	incumbent, canary       *snapshot
+	incumbentV, canaryV     uint64
+	incumbentCRC, canaryCRC uint32
+	fraction                float64
+}
+
+// routeToCanary deterministically assigns a request to the canary arm
+// by hashing its request ID against the traffic fraction: the same ID
+// always lands on the same arm, so retries and replays are comparable
+// and tests can pick their arm by picking their X-Request-ID.
+func routeToCanary(rid string, fraction float64) bool {
+	h := fnv.New32a()
+	h.Write([]byte(rid))
+	return float64(h.Sum32())/float64(1<<32) < fraction
 }
 
 // replica is one pooled model instance. Its tensors are owned
@@ -129,22 +232,52 @@ type Server struct {
 	dataset *data.Dataset
 	opts    Options
 
-	// mu serializes state mutations (AddDomain, SwapState). Reads never
-	// take it: they load snap.
+	// mu serializes state mutations (AddDomain, SwapState, Publish,
+	// promote/rollback). Reads never take it: they load view.
 	mu    sync.Mutex
 	state *core.State
+	// pendingState/pendingBaseline back the staged canary: installed on
+	// promote, dropped on rollback. Guarded by mu.
+	pendingState    *core.State
+	pendingBaseline *quality.Baseline
 
-	snap atomic.Pointer[snapshot]
+	view atomic.Pointer[view]
 	pool chan *replica
+
+	// rollout is the canary gate, attached via SetRollout after
+	// construction (the controller needs the server as its Fleet).
+	rollout atomic.Pointer[rollout.Controller]
 
 	// draining flips on SIGTERM: /readyz starts failing so load
 	// balancers stop routing here, while in-flight requests finish.
 	draining atomic.Bool
 
+	// pending counts requests inside the predict handler (queued or
+	// executing); the admission gate sheds off it before the pool
+	// saturates.
+	pending atomic.Int64
+	// svcEWMA is the exponentially-weighted mean forward-pass time in
+	// seconds, as math.Float64bits — the service-time estimate behind
+	// the deadline-aware shed.
+	svcEWMA atomic.Uint64
+	shedMu  sync.Mutex
+	shedRng *rand.Rand
+
+	upstream *upstreamMonitor
+
 	metrics  *serveMetrics
 	quality  *quality.Tracker
 	feedback *quality.JoinBuffer
 }
+
+// gate returns the attached rollout controller, nil when none; every
+// rollout.Controller method is nil-receiver-safe.
+func (s *Server) gate() *rollout.Controller { return s.rollout.Load() }
+
+// SetRollout attaches the canary gate. Publish stages snapshots as
+// canaries only once a gate is attached; without one it swaps
+// immediately.
+func (s *Server) SetRollout(c *rollout.Controller) { s.rollout.Store(c) }
 
 // New builds a server over a trained state and its dataset with default
 // options (single replica, 5s request timeout, 1 MiB bodies). The
@@ -180,8 +313,16 @@ func NewWithOptions(state *core.State, dataset *data.Dataset, opts Options) *Ser
 		}
 		s.pool <- &replica{model: m, params: params}
 	}
-	s.snap.Store(s.compose())
+	s.view.Store(&view{
+		incumbent:    s.compose(),
+		incumbentV:   opts.InitialVersion,
+		incumbentCRC: opts.InitialCRC,
+	})
 	s.metrics = newServeMetrics(opts.Metrics, opts.Replicas)
+	s.metrics.snapshotVersions(opts.InitialVersion, 0)
+	s.shedRng = rand.New(rand.NewSource(opts.ShedSeed))
+	s.upstream = newUpstreamMonitor(opts.Upstream, opts.Faults, opts.Metrics,
+		opts.UpstreamThreshold, opts.UpstreamBackoff)
 	if opts.Quality != nil {
 		s.quality = opts.Quality
 		s.feedback = quality.NewJoinBuffer(opts.FeedbackBuffer, opts.FeedbackTTL, nil)
@@ -191,13 +332,18 @@ func NewWithOptions(state *core.State, dataset *data.Dataset, opts Options) *Ser
 
 // compose precomposes every domain's serving parameters from the
 // current state. Callers must hold mu (or be the constructor).
-func (s *Server) compose() *snapshot {
+func (s *Server) compose() *snapshot { return s.composeState(s.state) }
+
+// composeState precomposes every domain of an arbitrary state — the
+// publish path composes the staged state off the request path before
+// anything is installed.
+func (s *Server) composeState(st *core.State) *snapshot {
 	snap := &snapshot{
-		composed: make([]paramvec.Vector, len(s.state.Specific)),
-		names:    make([]string, len(s.state.Specific)),
+		composed: make([]paramvec.Vector, len(st.Specific)),
+		names:    make([]string, len(st.Specific)),
 	}
-	for d := range s.state.Specific {
-		snap.composed[d] = s.state.ComposedFor(d)
+	for d := range st.Specific {
+		snap.composed[d] = st.ComposedFor(d)
 		if d < len(s.dataset.Domains) {
 			snap.names[d] = s.dataset.Domains[d].Name
 		} else {
@@ -216,21 +362,32 @@ func (s *Server) AddDomain() int {
 	id := s.state.AddDomain()
 	// Only the new domain's composition is missing; existing composed
 	// vectors are immutable and carried over.
-	old := s.snap.Load()
-	snap := &snapshot{
-		composed: append(old.composed[:len(old.composed):len(old.composed)], s.state.ComposedFor(id)),
-		names:    append(old.names[:len(old.names):len(old.names)], fmt.Sprintf("runtime-%d", id)),
+	old := s.view.Load()
+	nv := *old
+	nv.incumbent = extendSnapshot(old.incumbent, s.state.ComposedFor(id), id)
+	// A staged canary must stay domain-aligned with the incumbent, or a
+	// later promote would silently lose the registration.
+	if s.pendingState != nil {
+		s.pendingState.AddDomain()
+		nv.canary = extendSnapshot(old.canary, s.pendingState.ComposedFor(id), id)
 	}
-	s.snap.Store(snap)
+	s.view.Store(&nv)
 	return id
 }
 
-// SwapState replaces the served state wholesale (e.g. after a new
-// training run) and recomposes every domain. The new state's model must
-// be structurally identical to the pool replicas.
-func (s *Server) SwapState(state *core.State) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// extendSnapshot appends one domain's composition without touching the
+// published snapshot (capped appends: the old slices stay immutable).
+func extendSnapshot(old *snapshot, composed paramvec.Vector, id int) *snapshot {
+	return &snapshot{
+		composed: append(old.composed[:len(old.composed):len(old.composed)], composed),
+		names:    append(old.names[:len(old.names):len(old.names)], fmt.Sprintf("runtime-%d", id)),
+	}
+}
+
+// validateStateLocked checks a candidate state is structurally
+// compatible with the served one — a mismatched state would serve
+// garbage through the pool replicas.
+func (s *Server) validateStateLocked(state *core.State) error {
 	if len(state.Shared) != len(s.state.Shared) {
 		return fmt.Errorf("serve: new state has %d tensors, old has %d", len(state.Shared), len(s.state.Shared))
 	}
@@ -240,9 +397,46 @@ func (s *Server) SwapState(state *core.State) error {
 				t, len(state.Shared[t]), len(s.state.Shared[t]))
 		}
 	}
-	s.state = state
-	s.snap.Store(s.compose())
 	return nil
+}
+
+// SwapState replaces the served state wholesale (e.g. after a new
+// training run) and recomposes every domain, bumping the incumbent
+// version. The new state's model must be structurally identical to the
+// pool replicas. It refuses while a canary evaluation is in flight —
+// the comparison would no longer be against the snapshot the gate
+// started with.
+func (s *Server) SwapState(state *core.State) error {
+	s.mu.Lock()
+	old := s.view.Load()
+	if old.canary != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: cannot swap state while canary v%d is in flight", old.canaryV)
+	}
+	if err := s.validateStateLocked(state); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	version := old.incumbentV + 1
+	s.installLocked(state, s.composeState(state), version, 0, nil)
+	onSwap := s.opts.OnSwap
+	s.mu.Unlock()
+	if onSwap != nil {
+		onSwap(version, 0)
+	}
+	return nil
+}
+
+// installLocked makes (state, snap) the incumbent under version/crc and
+// applies its frozen quality baseline, if any. Caller holds mu and is
+// responsible for invoking OnSwap after unlocking.
+func (s *Server) installLocked(state *core.State, snap *snapshot, version uint64, crc uint32, baseline *quality.Baseline) {
+	s.state = state
+	s.view.Store(&view{incumbent: snap, incumbentV: version, incumbentCRC: crc})
+	s.metrics.snapshotVersions(version, 0)
+	if baseline != nil && s.quality != nil {
+		s.quality.SetBaseline(baseline)
+	}
 }
 
 // PredictRequest asks for click probabilities of user-item pairs in one
@@ -305,8 +499,16 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 //	GET  /readyz      -> 200 when ready to take traffic: a model
 //	                     snapshot is published, at least one replica is
 //	                     free, and the server is not draining; 503
-//	                     otherwise, with the reason in the body
+//	                     otherwise, with the reason in the body. The
+//	                     body carries the incumbent snapshot version
+//	                     (and canary/degraded state when applicable).
 //	GET  /metrics     -> Prometheus text exposition (when Options.Metrics is set)
+//
+//	POST /admin/publish  {path | source:"upstream", version?} -> {version, crc, canary, fraction}
+//	                     (stages a new snapshot: as a canary when a
+//	                     rollout gate is attached, else an immediate swap)
+//	GET  /admin/rollout  -> incumbent/canary versions + gate status
+//	POST /admin/rollback -> rolls back the in-flight canary manually
 //
 // With Options.Metrics or Options.AccessLog set, every response carries
 // an X-Request-ID header, status codes are counted, and one structured
@@ -318,6 +520,9 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/feedback", s.handleFeedback)
 	}
 	mux.HandleFunc("/domains", s.handleDomains)
+	mux.HandleFunc("/admin/publish", s.handleAdminPublish)
+	mux.HandleFunc("/admin/rollout", s.handleRolloutStatus)
+	mux.HandleFunc("/admin/rollback", s.handleAdminRollback)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -336,22 +541,34 @@ func (s *Server) Handler() http.Handler {
 // it answers 200 only when the server can actually serve a prediction
 // right now — a snapshot is published, the replica pool has a free
 // replica, and no drain is in progress.
-func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		http.Error(w, "draining", http.StatusServiceUnavailable)
-	case s.snap.Load() == nil:
+	case s.view.Load() == nil:
 		http.Error(w, "no model snapshot loaded", http.StatusServiceUnavailable)
 	case len(s.pool) == 0:
 		http.Error(w, "replica pool saturated", http.StatusServiceUnavailable)
 	default:
-		if s.opts.Upstream != nil {
-			if err := s.opts.Upstream(); err != nil {
-				http.Error(w, "upstream: "+err.Error(), http.StatusServiceUnavailable)
-				return
-			}
+		v := s.view.Load()
+		degraded, err := s.upstream.check(r.Context())
+		switch {
+		case err != nil && !degraded:
+			// Transient upstream failure, breaker still closed: fail
+			// readiness so the load balancer steers away while it lasts.
+			http.Error(w, "upstream: "+err.Error(), http.StatusServiceUnavailable)
+		case degraded:
+			// Breaker open: the upstream is persistently gone, but the
+			// last good snapshot still serves. Staying ready keeps the
+			// fleet up; the staleness gauge keeps operators honest.
+			fmt.Fprintf(w, "ready v%d crc=%08x (degraded: upstream down, serving last good snapshot: %v)\n",
+				v.incumbentV, v.incumbentCRC, err)
+		case v.canary != nil:
+			fmt.Fprintf(w, "ready v%d crc=%08x (canary v%d at %.0f%%)\n",
+				v.incumbentV, v.incumbentCRC, v.canaryV, v.fraction*100)
+		default:
+			fmt.Fprintf(w, "ready v%d crc=%08x\n", v.incumbentV, v.incumbentCRC)
 		}
-		fmt.Fprintln(w, "ready")
 	}
 }
 
@@ -359,6 +576,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	// Admission gate: shed before decoding the body, before the pool —
+	// a request that would only wait out its deadline in the queue fails
+	// in microseconds with a Retry-After instead.
+	admitted := s.pending.Add(1)
+	defer s.pending.Add(-1)
+	if reason := s.shedReason(admitted); reason != "" {
+		s.shed(w, reason)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
@@ -381,7 +607,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	snap := s.snap.Load()
+	// One atomic load pins this request's world: incumbent, canary, and
+	// the fraction. The request ID is resolved before routing so the
+	// canary assignment is deterministic per ID.
+	rid := w.Header().Get("X-Request-ID")
+	if rid == "" {
+		rid = requestID(r)
+		w.Header().Set("X-Request-ID", rid)
+	}
+	v := s.view.Load()
+	snap, version := v.incumbent, v.incumbentV
+	if v.canary != nil && req.Domain >= 0 && req.Domain < len(v.canary.composed) && routeToCanary(rid, v.fraction) {
+		snap, version = v.canary, v.canaryV
+	}
 	if req.Domain < 0 || req.Domain >= len(snap.composed) {
 		http.Error(w, fmt.Sprintf("unknown domain %d", req.Domain), http.StatusNotFound)
 		return
@@ -411,16 +649,30 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	case rep := <-s.pool:
 		waitSpan.End()
 		s.metrics.acquire(time.Since(waitStart))
+		// Chaos hook: a "Predict" fault holds or fails this replica the
+		// way a slow or broken forward pass would.
+		if err := s.opts.Faults.Eval("Predict").Apply(ctx); err != nil {
+			s.pool <- rep
+			s.metrics.release()
+			http.Error(w, "prediction failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		predictStart := time.Now()
 		_, predictSpan := trace.Start(ctx, "serve.predict",
-			trace.A("domain", snap.names[req.Domain]), trace.A("pairs", len(req.Users)))
+			trace.A("domain", snap.names[req.Domain]), trace.A("pairs", len(req.Users)),
+			trace.A("snapshot_version", version))
 		probs := s.predictOn(rep, snap, req.Domain, batch)
 		predictSpan.End()
 		s.pool <- rep
 		s.metrics.release()
+		s.observeServiceTime(time.Since(predictStart))
 		resp := PredictResponse{Probabilities: probs}
 		if s.quality != nil {
-			resp.RequestID = s.recordPrediction(w, r, snap.names[req.Domain], probs)
+			resp.RequestID = s.recordPrediction(rid, snap.names[req.Domain], version, probs)
 		}
+		// The gate compares arms on the dense score signal; with no
+		// canary in flight this is a no-op.
+		s.gate().ObserveScores(version, probs)
 		s.writeJSON(w, r, resp)
 		s.metrics.latencyFor(snap.names[req.Domain]).Observe(time.Since(start).Seconds())
 	case <-ctx.Done():
@@ -455,14 +707,11 @@ func (s *Server) predictOn(rep *replica, snap *snapshot, domain int, b *data.Bat
 }
 
 // recordPrediction feeds the quality tracker with the served scores and
-// parks them in the feedback join buffer under the response's request
-// ID (minting one when the instrument chain did not). Returns the ID.
-func (s *Server) recordPrediction(w http.ResponseWriter, r *http.Request, domain string, probs []float64) string {
-	rid := w.Header().Get("X-Request-ID")
-	if rid == "" {
-		rid = requestID(r)
-		w.Header().Set("X-Request-ID", rid)
-	}
+// parks them in the feedback join buffer under the request ID, stamped
+// with the snapshot version that produced them — when the labels come
+// back mid-canary they credit the arm that actually served, never the
+// other one. Returns the ID.
+func (s *Server) recordPrediction(rid, domain string, version uint64, probs []float64) string {
 	scoreHist := s.metrics.scoreHistFor(domain)
 	scores := make([]float32, len(probs))
 	for i, p := range probs {
@@ -470,7 +719,7 @@ func (s *Server) recordPrediction(w http.ResponseWriter, r *http.Request, domain
 		scores[i] = float32(p)
 	}
 	s.quality.ObserveScores(domain, probs)
-	s.feedback.Put(rid, quality.PendingPrediction{Domain: domain, Scores: scores})
+	s.feedback.Put(rid, quality.PendingPrediction{Domain: domain, Scores: scores, Version: version})
 	return rid
 }
 
@@ -514,13 +763,17 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	s.quality.ObserveLabeled(pending.Domain, scores, labels)
 	s.quality.FeedbackJoined()
+	// Labeled evidence also drives the canary gate, routed by the
+	// version stamped at predict time — labels for a snapshot that
+	// matches neither arm are dropped there, not misattributed.
+	s.gate().ObserveLabeled(pending.Version, scores, labels)
 	s.writeJSON(w, r, FeedbackResponse{Domain: pending.Domain, Joined: len(labels)})
 }
 
 func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		snap := s.snap.Load()
+		snap := s.view.Load().incumbent
 		s.writeJSON(w, r, DomainsResponse{NumDomains: len(snap.composed), Names: snap.names})
 	case http.MethodPost:
 		s.writeJSON(w, r, AddDomainResponse{ID: s.AddDomain()})

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"log/slog"
@@ -21,7 +22,7 @@ import (
 	"mamdr/internal/telemetry"
 )
 
-func testState(t *testing.T) (*core.State, *data.Dataset, func() models.Model) {
+func testState(t testing.TB) (*core.State, *data.Dataset, func() models.Model) {
 	t.Helper()
 	ds := synth.Generate(synth.Config{
 		Name: "serve-test", Seed: 61, ConflictStrength: 0.5,
@@ -517,18 +518,27 @@ func TestReadyzReportsPoolSaturation(t *testing.T) {
 
 // TestReadyzReportsUpstreamHealth pins the cluster-backed readiness
 // contract: a server whose snapshot source (PS shards) goes away must
-// fail /readyz with the upstream reason, and recover when connectivity
-// returns. /healthz stays green throughout — the process is fine, its
-// upstream is not.
+// fail /readyz with the upstream reason while the outage looks
+// transient, then — once the circuit breaker decides the upstream is
+// persistently gone — degrade to serving the last good snapshot with
+// /readyz green again. /healthz stays green throughout — the process
+// is fine, its upstream is not.
 func TestReadyzReportsUpstreamHealth(t *testing.T) {
 	st, ds, _ := testState(t)
 	upErr := atomic.Pointer[string]{}
-	s := NewWithOptions(st, ds, Options{Upstream: func() error {
-		if msg := upErr.Load(); msg != nil {
-			return errors.New(*msg)
-		}
-		return nil
-	}})
+	s := NewWithOptions(st, ds, Options{
+		Upstream: &Upstream{Ping: func(context.Context) error {
+			if msg := upErr.Load(); msg != nil {
+				return errors.New(*msg)
+			}
+			return nil
+		}},
+		UpstreamThreshold: 2,
+	})
+	// The breaker's probe budget is time-based; a fixed clock keeps the
+	// open-breaker probe schedule out of this test's way.
+	now := time.Unix(1000, 0)
+	s.upstream.now = func() time.Time { return now }
 	h := s.Handler()
 	get := func(path string) *httptest.ResponseRecorder {
 		req := httptest.NewRequest(http.MethodGet, path, nil)
@@ -554,9 +564,23 @@ func TestReadyzReportsUpstreamHealth(t *testing.T) {
 		t.Fatalf("healthz with dead upstream = %d, want 200", wh.Code)
 	}
 
+	// Second consecutive failure crosses the threshold: the breaker
+	// opens and the server degrades instead of staying out of rotation.
+	w = get("/readyz")
+	if w.Code != http.StatusOK {
+		t.Fatalf("readyz with open breaker = %d, want 200 (degraded)", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "degraded") {
+		t.Fatalf("degraded notice missing: %q", w.Body.String())
+	}
+
+	// Recovery: advance past the probe schedule so the next /readyz
+	// actually re-probes, sees health, and closes the breaker.
 	upErr.Store(nil)
-	if w := get("/readyz"); w.Code != http.StatusOK {
-		t.Fatalf("readyz after upstream recovery = %d, want 200", w.Code)
+	now = now.Add(time.Hour)
+	w = get("/readyz")
+	if w.Code != http.StatusOK || strings.Contains(w.Body.String(), "degraded") {
+		t.Fatalf("readyz after upstream recovery = %d %q, want clean 200", w.Code, w.Body.String())
 	}
 }
 

@@ -26,6 +26,9 @@ type serveMetrics struct {
 	poolSize      *telemetry.Gauge
 	writeFailures *telemetry.Counter
 
+	snapshotVersion *telemetry.Gauge
+	canaryVersion   *telemetry.Gauge
+
 	// codeCounters, latencies, and scoreHists cache instrument pointers
 	// so the hot request path skips the registry's mutex-guarded lookup
 	// (the registry is get-or-create, so a racing double-create is
@@ -33,6 +36,7 @@ type serveMetrics struct {
 	codeCounters sync.Map // int -> *telemetry.Counter
 	latencies    sync.Map // string -> *telemetry.Histogram
 	scoreHists   sync.Map // string -> *telemetry.Histogram
+	shedCounters sync.Map // string -> *telemetry.Counter
 
 	inflight atomic.Int64
 	replicas int
@@ -54,6 +58,10 @@ func newServeMetrics(reg *telemetry.Registry, replicas int) *serveMetrics {
 			"Configured model-replica pool size."),
 		writeFailures: reg.Counter("mamdr_serve_write_failures_total",
 			"Response body writes that failed after headers were sent (client gone, broken pipe)."),
+		snapshotVersion: reg.Gauge("mamdr_serve_snapshot_version",
+			"Version of the incumbent serving snapshot."),
+		canaryVersion: reg.Gauge("mamdr_serve_canary_version",
+			"Version of the canary snapshot taking traffic (0 when none)."),
 		replicas: replicas,
 	}
 	m.poolSize.Set(float64(replicas))
@@ -105,6 +113,43 @@ func (m *serveMetrics) scoreHistFor(domain string) *telemetry.Histogram {
 		telemetry.LinearBuckets(0.1, 0.1, 9), telemetry.L("domain", domain))
 	m.scoreHists.Store(domain, h)
 	return h
+}
+
+// shed counts one admission-gate rejection by reason ("queue_full",
+// "deadline").
+func (m *serveMetrics) shed(reason string) {
+	if m == nil {
+		return
+	}
+	c, ok := m.shedCounters.Load(reason)
+	if !ok {
+		c = m.reg.Counter("mamdr_serve_shed_total",
+			"Predictions shed by the admission gate before reaching the replica pool, by reason.",
+			telemetry.L("reason", reason))
+		m.shedCounters.Store(reason, c)
+	}
+	c.(*telemetry.Counter).Inc()
+}
+
+// snapshotVersions publishes the live snapshot identities (canary 0
+// when none is flying).
+func (m *serveMetrics) snapshotVersions(incumbent, canary uint64) {
+	if m == nil {
+		return
+	}
+	m.snapshotVersion.Set(float64(incumbent))
+	m.canaryVersion.Set(float64(canary))
+}
+
+// publishOutcome counts one publication attempt ("accepted",
+// "rejected").
+func (m *serveMetrics) publishOutcome(outcome string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter("mamdr_serve_publish_total",
+		"Snapshot publication attempts, by outcome.",
+		telemetry.L("outcome", outcome)).Inc()
 }
 
 // writeFailure counts one failed response-body write.

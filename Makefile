@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster smoke-obs smoke-quality smoke-rollout ci check
+.PHONY: all build test vet staticcheck race bench-serve bench-telemetry bench-baseline bench-guard smoke-trace smoke-chaos smoke-cluster smoke-obs smoke-quality smoke-rollout smoke-batch ci check
 
 all: check
 
@@ -208,22 +208,76 @@ smoke-rollout:
 	kill `cat /tmp/rollout-chaos.pid`
 	@echo "ok: clean publish promoted, poisoned publish rolled back, injected predict fault contained"
 
-# The PS, cluster, and serving paths are the concurrent hot spots; keep
-# them race-clean.
+# The CI batch-smoke job locally: the same mirrored replay driven twice
+# through one checkpoint — once with coalescing off (one forward per
+# request), once with `-batch-max=64 -batch-linger=500us` under 16
+# concurrent client threads — must produce byte-identical score dumps
+# at -snapshot-quant=off (the blocked kernels keep textbook accumulation
+# order regardless of row count, so batchmates cannot perturb each
+# other's math). The batched server must actually coalesce (flush
+# counter > 0), and the env-gated Go tests then assert the ≥5x
+# throughput floor and the int8 AUC budget (ΔAUC ≥ -0.002 on amazon-6).
+smoke-batch:
+	$(GO) build -o /tmp/mamdr-bin/ ./cmd/mamdr-train ./cmd/mamdr-serve ./cmd/datagen
+	/tmp/mamdr-bin/datagen -preset amazon-6 -samples 2000 -seed 7 -out /tmp/batch-ds.json
+	/tmp/mamdr-bin/mamdr-train -preset amazon-6 -samples 2000 -seed 7 -epochs 4 \
+		-save /tmp/batch.ckpt >/tmp/batch-train.log 2>&1
+	/tmp/mamdr-bin/mamdr-serve -preset amazon-6 -samples 2000 -seed 7 \
+		-checkpoint /tmp/batch.ckpt -addr 127.0.0.1:8088 -access-log off \
+		-rollout=false -batch-max=0 -max-queue 256 \
+		>/tmp/batch-serve-off.log 2>&1 & echo $$! > /tmp/batch-serve.pid
+	for i in `seq 90`; do curl -sf 127.0.0.1:8088/healthz >/dev/null 2>&1 && break; \
+		kill -0 `cat /tmp/batch-serve.pid` || { cat /tmp/batch-serve-off.log; exit 1; }; sleep 1; done
+	python3 scripts/rollout_traffic.py --base http://127.0.0.1:8088 \
+		--data /tmp/batch-ds.json --repeat 1 --workers 16 \
+		--dump-scores /tmp/batch-scores-off.jsonl
+	kill `cat /tmp/batch-serve.pid`
+	/tmp/mamdr-bin/mamdr-serve -preset amazon-6 -samples 2000 -seed 7 \
+		-checkpoint /tmp/batch.ckpt -addr 127.0.0.1:8089 -access-log off \
+		-rollout=false -batch-max=64 -batch-linger=500us -snapshot-quant=off \
+		-max-queue 256 \
+		>/tmp/batch-serve-on.log 2>&1 & echo $$! > /tmp/batch-serve.pid
+	for i in `seq 90`; do curl -sf 127.0.0.1:8089/healthz >/dev/null 2>&1 && break; \
+		kill -0 `cat /tmp/batch-serve.pid` || { cat /tmp/batch-serve-on.log; exit 1; }; sleep 1; done
+	grep 'request coalescing' /tmp/batch-serve-on.log
+	python3 scripts/rollout_traffic.py --base http://127.0.0.1:8089 \
+		--data /tmp/batch-ds.json --repeat 1 --workers 16 \
+		--dump-scores /tmp/batch-scores-on.jsonl
+	curl -s 127.0.0.1:8089/metrics | grep -E 'mamdr_serve_batch_flushes_total\{reason="(full|linger)"\} [1-9]'
+	kill `cat /tmp/batch-serve.pid`
+	diff /tmp/batch-scores-off.jsonl /tmp/batch-scores-on.jsonl
+	MAMDR_SMOKE_BATCH=1 $(GO) test -count=1 -v -run TestBatchThroughputGain ./internal/serve
+	MAMDR_SMOKE_BATCH=1 $(GO) test -count=1 -v -run TestQuantAUCBudget ./internal/exp
+	@echo "ok: batched scores byte-identical to unbatched; throughput and int8 AUC gates passed"
+
+# The PS, cluster, serving, batching, and quant paths are the
+# concurrent hot spots; keep them race-clean.
 race:
-	$(GO) test -race -count=1 ./internal/ps/... ./internal/cluster/... ./internal/serve/...
+	$(GO) test -race -count=1 ./internal/ps/... ./internal/cluster/... ./internal/serve/... \
+		./internal/batch/... ./internal/quant/...
 
 bench-serve:
 	$(GO) test ./internal/serve -run xxx -bench ServeThroughput -benchtime 2s
 
-# The kernel benchmarks guarded by CI's bench-guard job.
+# The kernel benchmarks guarded by CI's bench-guard job, plus the
+# serving-path series (batched forward, quantized row lookup) guarded
+# against their own baseline — they live in a different package so they
+# carry a separate baseline file, and being end-to-end HTTP benchmarks
+# (linger timers, goroutine scheduling) they get a looser 50% gate:
+# still far under the 2x+ cost of accidentally serializing the pool or
+# losing coalescing, without flaking on scheduler jitter.
 BENCH_GUARD = BenchmarkMatMul64x64$$|BenchmarkMatMulBackward64x64$$|BenchmarkFMSecondOrder$$|BenchmarkTrainStepArena$$
 BENCH_BASELINE = internal/autograd/testdata/bench_baseline.txt
+SERVE_BENCH_GUARD = BenchmarkServeConcurrent|BenchmarkQuantLookup
+SERVE_BENCH_BASELINE = internal/serve/testdata/bench_baseline.txt
 
-# Regenerate the committed baseline after an intentional kernel change.
+# Regenerate the committed baselines after an intentional kernel or
+# serving-path change.
 bench-baseline:
 	$(GO) test ./internal/autograd -run '^$$' -bench '$(BENCH_GUARD)' \
 		-benchtime=300ms -count=6 | tee $(BENCH_BASELINE)
+	$(GO) test ./internal/serve -run '^$$' -bench '$(SERVE_BENCH_GUARD)' \
+		-benchtime=300ms -count=6 | tee $(SERVE_BENCH_BASELINE)
 
 # The CI bench-guard job locally: re-run the guarded benchmarks and
 # fail if any median regressed >20% vs the committed baseline. If
@@ -234,6 +288,10 @@ bench-guard:
 		-benchtime=300ms -count=6 | tee /tmp/bench_current.txt
 	-command -v benchstat >/dev/null && benchstat $(BENCH_BASELINE) /tmp/bench_current.txt
 	python3 scripts/bench_guard.py $(BENCH_BASELINE) /tmp/bench_current.txt
+	$(GO) test ./internal/serve -run '^$$' -bench '$(SERVE_BENCH_GUARD)' \
+		-benchtime=300ms -count=6 | tee /tmp/bench_serve_current.txt
+	-command -v benchstat >/dev/null && benchstat $(SERVE_BENCH_BASELINE) /tmp/bench_serve_current.txt
+	python3 scripts/bench_guard.py $(SERVE_BENCH_BASELINE) /tmp/bench_serve_current.txt 0.50
 
 # Instrumented-vs-bare cost of the telemetry subsystem on the training
 # loop and the serving request path (budget: <5%).
@@ -251,5 +309,6 @@ ci:
 	$(MAKE) smoke-obs
 	$(MAKE) smoke-quality
 	$(MAKE) smoke-rollout
+	$(MAKE) smoke-batch
 
 check: vet build test race

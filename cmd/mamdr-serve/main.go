@@ -85,6 +85,11 @@ func main() {
 		rolloutMaxWait = flag.Duration("rollout-max-wait", 0, "fail-safe: a canary still unproven after this long is rolled back (0 = default 10m)")
 		maxQueue       = flag.Int("max-queue", 0, "admission control: shed predictions once this many queue beyond the replica pool (0 = 4×replicas)")
 		serveFaults    = flag.String("serve-faults", "", "serving-path fault schedule (op:kind@occurrences; ops: Predict, PublishSource, UpstreamPing, UpstreamSnapshot), seeded by -seed")
+
+		batchMax      = flag.Int("batch-max", 0, "coalesce concurrent /predict requests into micro-batches of at most this many rows sharing one batched forward (0 = off, one forward per request)")
+		batchLinger   = flag.Duration("batch-linger", 500*time.Microsecond, "how long a lone request waits for batchmates before its batch flushes anyway (with -batch-max)")
+		snapshotQuant = flag.String("snapshot-quant", "off", `serving-snapshot embedding storage: "off" (float64) or "int8" (symmetric-per-row quantized tables + hot-row dequantization cache)`)
+		quantCache    = flag.Int("quant-cache", 0, "dequantization LRU capacity in rows across all domains (0 = default 4096, with -snapshot-quant=int8)")
 	)
 	flag.Parse()
 	kernels.SetThreads(*kernelThreads)
@@ -258,6 +263,10 @@ func main() {
 		FeedbackTTL:     *feedbackTTL,
 		Faults:          faults,
 		InitialCRC:      initialCRC,
+		BatchMax:        *batchMax,
+		BatchLinger:     *batchLinger,
+		SnapshotQuant:   *snapshotQuant,
+		QuantCacheRows:  *quantCache,
 		OnSwap: func(version uint64, crc uint32) {
 			publishInfo(version, crc)
 			log.Printf("snapshot v%d (crc %08x) is now the incumbent", version, crc)
@@ -270,6 +279,17 @@ func main() {
 		},
 	})
 	publishInfo(1, initialCRC)
+	if *batchMax > 0 {
+		log.Printf("request coalescing on: batches of up to %d rows, %s linger", *batchMax, *batchLinger)
+	}
+	if *snapshotQuant == "int8" {
+		log.Printf("snapshot embeddings quantized int8 (dequant cache %d rows)", func() int {
+			if *quantCache > 0 {
+				return *quantCache
+			}
+			return 4096
+		}())
+	}
 
 	// The canary gate: serve routes traffic and reports observations,
 	// the controller decides, the Fleet interface (srv) executes. A
@@ -341,6 +361,7 @@ func main() {
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			log.Fatalf("drain incomplete: %v", err)
 		}
+		srv.Close() // flush any still-open micro-batches
 		log.Printf("drained cleanly")
 	}
 }

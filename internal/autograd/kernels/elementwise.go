@@ -128,6 +128,17 @@ func SigmoidTo(dst, a []float64) {
 	}
 }
 
+// DequantRowTo sets dst[i] = float64(q[i]) * float64(scale) — the int8
+// symmetric-dequantization kernel behind quantized embedding snapshots
+// (internal/quant). The scale widens to float64 before the multiply so
+// decode is a single correctly-rounded operation per element.
+func DequantRowTo(dst []float64, q []int8, scale float32) {
+	s := float64(scale)
+	for i, v := range q[:len(dst)] {
+		dst[i] = float64(v) * s
+	}
+}
+
 // ReLUTo sets dst[i] = a[i] when a[i] > 0 and 0 otherwise (dst need
 // not be pre-zeroed).
 func ReLUTo(dst, a []float64) {

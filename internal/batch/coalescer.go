@@ -1,0 +1,197 @@
+// Package batch coalesces concurrent requests into micro-batches — the
+// serving-side execution shape production CTR systems use to amortize
+// per-request forward-pass overhead. Callers submit items keyed by an
+// integer (the serving layer keys by domain); the coalescer gathers
+// items for the same key until either the batch is full (MaxRows) or
+// the oldest item has lingered long enough (Linger), then hands the
+// whole group to the Run callback on a fresh goroutine. A batch of B
+// single-row requests thus becomes one B-row forward through the
+// blocked GEMM kernels instead of B one-row passes.
+//
+// Two invariants shape the flush policy:
+//
+//   - an item is never split across batches: a request's rows always
+//     score in one forward, so its scores come from one snapshot;
+//   - flush-on-full takes precedence over linger: under saturating
+//     traffic the linger timer never fires and adds zero latency, so
+//     the configured linger bounds only the *idle-tail* delay of the
+//     last stragglers.
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed rejects submissions after Close.
+var ErrClosed = errors.New("batch: coalescer closed")
+
+// Item is one request riding a batch. Rows is its row count (the
+// serving layer's user-item pairs); Data carries the caller's payload
+// through to Run untouched.
+type Item struct {
+	// Ctx is the submitting request's context. The coalescer itself
+	// never blocks on it, but Run callbacks should drop items whose
+	// context has expired before doing work on their behalf.
+	Ctx  context.Context
+	Rows int
+	Data any
+
+	res chan Result
+}
+
+// Result is what an Item resolves to.
+type Result struct {
+	Value any
+	Err   error
+}
+
+// NewItem builds a submittable item. The result channel is buffered so
+// Resolve/Fail never block even if the submitter has given up waiting.
+func NewItem(ctx context.Context, rows int, data any) *Item {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Item{Ctx: ctx, Rows: rows, Data: data, res: make(chan Result, 1)}
+}
+
+// Result returns the channel the item's outcome arrives on.
+func (it *Item) Result() <-chan Result { return it.res }
+
+// Resolve delivers the item's value. Exactly one of Resolve/Fail may
+// be called, once, by the Run callback.
+func (it *Item) Resolve(v any) { it.res <- Result{Value: v} }
+
+// Fail delivers an error instead.
+func (it *Item) Fail(err error) { it.res <- Result{Err: err} }
+
+// Options configures a Coalescer.
+type Options struct {
+	// MaxRows flushes a batch as soon as its accumulated row count
+	// reaches this bound (minimum 1). A single item with Rows >= MaxRows
+	// flushes alone — items are never split.
+	MaxRows int
+	// Linger flushes a non-empty batch this long after its first item
+	// arrived, bounding the latency a lone request pays waiting for
+	// batchmates. Zero or negative lingers still work: the timer fires
+	// on the next scheduler tick, degenerating to per-arrival flushes.
+	Linger time.Duration
+	// Run executes one flushed batch. It is called on a fresh goroutine
+	// (never on a submitter's) and must Resolve or Fail every item.
+	Run func(key int, items []*Item)
+	// OnFlush, when non-nil, observes every flush for telemetry:
+	// request count, total rows, how long the oldest item waited, and
+	// the trigger ("full", "linger", "close").
+	OnFlush func(key int, requests, rows int, waited time.Duration, reason string)
+}
+
+// Coalescer gathers items into per-key micro-batches. Safe for
+// concurrent use.
+type Coalescer struct {
+	opts Options
+
+	mu     sync.Mutex
+	queues map[int]*queue
+	closed bool
+}
+
+// queue is the open batch for one key. gen guards the linger timer: a
+// flush bumps it, so a timer armed for a batch that already flushed
+// finds a stale generation and does nothing.
+type queue struct {
+	items []*Item
+	rows  int
+	since time.Time
+	gen   uint64
+}
+
+// New builds a coalescer. Run is required.
+func New(opts Options) *Coalescer {
+	if opts.Run == nil {
+		panic("batch: Options.Run is required")
+	}
+	if opts.MaxRows < 1 {
+		opts.MaxRows = 1
+	}
+	return &Coalescer{opts: opts, queues: make(map[int]*queue)}
+}
+
+// Submit enqueues an item under key. It returns immediately; the
+// caller waits on item.Result(). Submissions after Close fail.
+func (c *Coalescer) Submit(key int, it *Item) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	q := c.queues[key]
+	if q == nil {
+		q = &queue{}
+		c.queues[key] = q
+	}
+	// Never split an item: if it doesn't fit the open batch, flush the
+	// batch first and start a fresh one with this item.
+	if q.rows > 0 && q.rows+it.Rows > c.opts.MaxRows {
+		c.flushLocked(key, q, "full")
+	}
+	if len(q.items) == 0 {
+		q.since = time.Now()
+		c.armLinger(key, q.gen)
+	}
+	q.items = append(q.items, it)
+	q.rows += it.Rows
+	if q.rows >= c.opts.MaxRows {
+		c.flushLocked(key, q, "full")
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// armLinger schedules the linger flush for the batch generation that
+// is open right now.
+func (c *Coalescer) armLinger(key int, gen uint64) {
+	linger := c.opts.Linger
+	if linger < 0 {
+		linger = 0
+	}
+	time.AfterFunc(linger, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		q := c.queues[key]
+		if q == nil || q.gen != gen || len(q.items) == 0 {
+			return // that batch already flushed (full or close)
+		}
+		c.flushLocked(key, q, "linger")
+	})
+}
+
+// flushLocked detaches the open batch and dispatches it. Caller holds
+// c.mu.
+func (c *Coalescer) flushLocked(key int, q *queue, reason string) {
+	items, rows, since := q.items, q.rows, q.since
+	q.items, q.rows = nil, 0
+	q.gen++
+	if len(items) == 0 {
+		return
+	}
+	if c.opts.OnFlush != nil {
+		c.opts.OnFlush(key, len(items), rows, time.Since(since), reason)
+	}
+	go c.opts.Run(key, items)
+}
+
+// Close flushes every open batch and rejects further submissions.
+// In-flight Run callbacks keep running; Close does not wait for them.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for key, q := range c.queues {
+		c.flushLocked(key, q, "close")
+	}
+}

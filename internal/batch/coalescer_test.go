@@ -1,0 +1,317 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collectRuns wires a coalescer whose Run resolves every item with its
+// batch's (index, position) and records each flushed batch.
+type runRecorder struct {
+	mu      sync.Mutex
+	batches [][]*Item
+	keys    []int
+}
+
+func (r *runRecorder) run(key int, items []*Item) {
+	r.mu.Lock()
+	r.batches = append(r.batches, items)
+	r.keys = append(r.keys, key)
+	r.mu.Unlock()
+	for i, it := range items {
+		it.Resolve(i)
+	}
+}
+
+func (r *runRecorder) snapshot() ([][]*Item, []int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([][]*Item(nil), r.batches...), append([]int(nil), r.keys...)
+}
+
+func await(t *testing.T, it *Item) Result {
+	t.Helper()
+	select {
+	case res := <-it.Result():
+		return res
+	case <-time.After(5 * time.Second):
+		t.Fatal("item never resolved")
+		return Result{}
+	}
+}
+
+func TestFlushOnFull(t *testing.T) {
+	rec := &runRecorder{}
+	c := New(Options{MaxRows: 4, Linger: time.Hour, Run: rec.run})
+	var items []*Item
+	for i := 0; i < 4; i++ {
+		it := NewItem(context.Background(), 1, i)
+		items = append(items, it)
+		if err := c.Submit(7, it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pos, it := range items {
+		if res := await(t, it); res.Err != nil || res.Value.(int) != pos {
+			t.Fatalf("item %d resolved to %+v", pos, res)
+		}
+	}
+	batches, keys := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 4 || keys[0] != 7 {
+		t.Fatalf("got %d batches (first len %d, key %d), want one 4-item batch under key 7",
+			len(batches), len(batches[0]), keys[0])
+	}
+}
+
+func TestFlushOnLinger(t *testing.T) {
+	rec := &runRecorder{}
+	c := New(Options{MaxRows: 1024, Linger: 5 * time.Millisecond, Run: rec.run})
+	it := NewItem(context.Background(), 3, nil)
+	if err := c.Submit(0, it); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	await(t, it)
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("linger flush took %v", waited)
+	}
+	batches, _ := rec.snapshot()
+	if len(batches) != 1 || len(batches[0]) != 1 {
+		t.Fatalf("batches = %v", batches)
+	}
+}
+
+// TestNeverSplitsAnItem: an item that would overflow the open batch
+// flushes the batch first and starts the next one — no item's rows are
+// ever spread over two Run calls.
+func TestNeverSplitsAnItem(t *testing.T) {
+	rec := &runRecorder{}
+	c := New(Options{MaxRows: 8, Linger: time.Hour, Run: rec.run})
+	a := NewItem(context.Background(), 5, "a")
+	b := NewItem(context.Background(), 6, "b") // 5+6 > 8: must not join a's batch
+	if err := c.Submit(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, b); err != nil {
+		t.Fatal(err)
+	}
+	await(t, a)
+	c.Close()
+	await(t, b)
+	batches, _ := rec.snapshot()
+	if len(batches) != 2 || len(batches[0]) != 1 || len(batches[1]) != 1 {
+		t.Fatalf("batches = %d (sizes %v), want two singleton batches", len(batches), batches)
+	}
+}
+
+// TestOversizeItemFlushesAlone: a single item at or past MaxRows forms
+// its own batch immediately.
+func TestOversizeItemFlushesAlone(t *testing.T) {
+	rec := &runRecorder{}
+	c := New(Options{MaxRows: 8, Linger: time.Hour, Run: rec.run})
+	it := NewItem(context.Background(), 100, nil)
+	if err := c.Submit(0, it); err != nil {
+		t.Fatal(err)
+	}
+	await(t, it)
+}
+
+func TestKeysDoNotMix(t *testing.T) {
+	rec := &runRecorder{}
+	c := New(Options{MaxRows: 2, Linger: time.Hour, Run: rec.run})
+	for key := 0; key < 3; key++ {
+		for i := 0; i < 2; i++ {
+			if err := c.Submit(key, NewItem(context.Background(), 1, key)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		batches, keys := rec.snapshot()
+		if len(batches) == 3 {
+			for i, b := range batches {
+				for _, it := range b {
+					if it.Data.(int) != keys[i] {
+						t.Fatalf("batch %d (key %d) carries item of key %d", i, keys[i], it.Data)
+					}
+				}
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d batches flushed", len(batches))
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	rec := &runRecorder{}
+	c := New(Options{MaxRows: 64, Linger: time.Hour, Run: rec.run})
+	it := NewItem(context.Background(), 1, nil)
+	if err := c.Submit(0, it); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	await(t, it)
+	if err := c.Submit(0, NewItem(context.Background(), 1, nil)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestFailPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	c := New(Options{MaxRows: 1, Run: func(_ int, items []*Item) {
+		for _, it := range items {
+			it.Fail(boom)
+		}
+	}})
+	it := NewItem(context.Background(), 1, nil)
+	if err := c.Submit(0, it); err != nil {
+		t.Fatal(err)
+	}
+	if res := await(t, it); !errors.Is(res.Err, boom) {
+		t.Fatalf("res = %+v, want boom", res)
+	}
+}
+
+func TestOnFlushObservesReasons(t *testing.T) {
+	var mu sync.Mutex
+	reasons := map[string]int{}
+	rec := &runRecorder{}
+	c := New(Options{
+		MaxRows: 2, Linger: 2 * time.Millisecond, Run: rec.run,
+		OnFlush: func(_, requests, rows int, waited time.Duration, reason string) {
+			mu.Lock()
+			reasons[reason]++
+			mu.Unlock()
+			if requests < 1 || rows < requests || waited < 0 {
+				t.Errorf("OnFlush(%d, %d, %v, %s)", requests, rows, waited, reason)
+			}
+		},
+	})
+	full := []*Item{NewItem(context.Background(), 1, nil), NewItem(context.Background(), 1, nil)}
+	for _, it := range full {
+		if err := c.Submit(0, it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lone := NewItem(context.Background(), 1, nil)
+	if err := c.Submit(0, lone); err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range append(full, lone) {
+		await(t, it)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if reasons["full"] != 1 || reasons["linger"] != 1 {
+		t.Fatalf("reasons = %v, want one full + one linger", reasons)
+	}
+}
+
+// TestConcurrentSubmitters hammers one key from many goroutines under
+// -race: every item resolves exactly once, total rows conserved, and
+// no batch exceeds MaxRows (items are all 1-row here).
+func TestConcurrentSubmitters(t *testing.T) {
+	const submitters, perSubmitter, maxRows = 8, 200, 16
+	var resolved atomic.Int64
+	c := New(Options{
+		MaxRows: maxRows, Linger: 100 * time.Microsecond,
+		Run: func(_ int, items []*Item) {
+			rows := 0
+			for _, it := range items {
+				rows += it.Rows
+			}
+			if rows > maxRows {
+				t.Errorf("batch of %d rows exceeds max %d", rows, maxRows)
+			}
+			for _, it := range items {
+				it.Resolve(nil)
+			}
+		},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				it := NewItem(context.Background(), 1, nil)
+				if err := c.Submit(0, it); err != nil {
+					t.Error(err)
+					return
+				}
+				res := <-it.Result()
+				if res.Err != nil {
+					t.Error(res.Err)
+					return
+				}
+				resolved.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := resolved.Load(); got != submitters*perSubmitter {
+		t.Fatalf("resolved %d items, want %d", got, submitters*perSubmitter)
+	}
+}
+
+// TestBatchingActuallyHappens: with concurrent submitters and a
+// generous linger, at least one multi-request batch must form —
+// otherwise the coalescer is a very elaborate pass-through.
+func TestBatchingActuallyHappens(t *testing.T) {
+	var maxBatch atomic.Int64
+	c := New(Options{
+		MaxRows: 64, Linger: 20 * time.Millisecond,
+		Run: func(_ int, items []*Item) {
+			if n := int64(len(items)); n > maxBatch.Load() {
+				maxBatch.Store(n)
+			}
+			for _, it := range items {
+				it.Resolve(nil)
+			}
+		},
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			it := NewItem(context.Background(), 1, nil)
+			if err := c.Submit(0, it); err != nil {
+				t.Error(err)
+				return
+			}
+			<-it.Result()
+		}()
+	}
+	wg.Wait()
+	if maxBatch.Load() < 2 {
+		t.Fatalf("largest batch = %d, want >= 2", maxBatch.Load())
+	}
+}
+
+func ExampleCoalescer() {
+	c := New(Options{
+		MaxRows: 2, Linger: time.Millisecond,
+		Run: func(key int, items []*Item) {
+			for _, it := range items {
+				it.Resolve(fmt.Sprintf("key %d, %d rows", key, it.Rows))
+			}
+		},
+	})
+	it := NewItem(context.Background(), 2, nil)
+	c.Submit(5, it)
+	res := <-it.Result()
+	fmt.Println(res.Value)
+	// Output: key 5, 2 rows
+}

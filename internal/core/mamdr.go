@@ -82,9 +82,7 @@ type State struct {
 // ComposedFor returns θ_S + θ_i, the serving parameters of domain i
 // (Eq. 4).
 func (s *State) ComposedFor(domain int) paramvec.Vector {
-	out := s.Shared.Clone()
-	paramvec.Axpy(out, 1, s.Specific[domain])
-	return out
+	return paramvec.Sum(s.Shared, s.Specific[domain])
 }
 
 // Predict implements framework.Predictor: it serves each batch with the

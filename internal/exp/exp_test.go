@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -161,5 +163,46 @@ func TestDeterministicTables(t *testing.T) {
 	b := TableVI(Tiny).Markdown()
 	if a != b {
 		t.Fatal("Table VI not deterministic across runs")
+	}
+}
+
+func TestQuantTradeoffStructure(t *testing.T) {
+	tab := QuantTradeoff(Tiny)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want amazon-6 + zipf variant", len(tab.Rows))
+	}
+	if len(tab.Header) != 7 {
+		t.Fatalf("header = %v", tab.Header)
+	}
+	for _, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("row %v misaligned with header %v", row, tab.Header)
+		}
+	}
+	// The compression column is exact arithmetic: (8·cols)/(cols+4).
+	if got := tab.Rows[0][6]; got != "5.3x" {
+		t.Fatalf("compression = %q, want 5.3x for cols=8", got)
+	}
+}
+
+// TestQuantAUCBudget is the smoke-batch acceptance gate: at Quick
+// scale the amazon-6 int8 serving snapshot must cost at most 0.002
+// AUC versus exact float64 composition. Gated behind MAMDR_SMOKE_BATCH
+// because Quick-scale training is too slow for the tier-1 suite; run
+// via `make smoke-batch`.
+func TestQuantAUCBudget(t *testing.T) {
+	if os.Getenv("MAMDR_SMOKE_BATCH") == "" {
+		t.Skip("set MAMDR_SMOKE_BATCH=1 (make smoke-batch) to run the Quick-scale quant AUC gate")
+	}
+	tab := QuantTradeoff(Quick)
+	for _, row := range tab.Rows {
+		delta, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("ΔAUC cell %q: %v", row[3], err)
+		}
+		t.Logf("%s: AUC fp64=%s int8=%s Δ=%+.4f", row[0], row[1], row[2], delta)
+		if strings.EqualFold(row[0], "amazon-6") && delta < -0.002 {
+			t.Fatalf("amazon-6 int8 AUC delta %+.4f exceeds the -0.002 budget", delta)
+		}
 	}
 }

@@ -32,6 +32,7 @@ var Registry = map[string]Runner{
 	"conflict-scaling": one(ConflictScaling),
 	"conflict-cosine":  one(GradientConflictDiagnostic),
 	"generalization":   one(GeneralizationLODO),
+	"quant":            one(QuantTradeoff),
 }
 
 // Order lists experiment ids in presentation order.
@@ -39,7 +40,7 @@ var Order = []string{
 	"table1", "table2-4", "table5", "table6", "table7",
 	"table8", "table9", "table10", "figure8", "figure9",
 	"ablation-dnorder", "ablation-drorder", "ablation-cache",
-	"conflict-scaling", "conflict-cosine", "generalization",
+	"conflict-scaling", "conflict-cosine", "generalization", "quant",
 }
 
 // Run executes the named experiment.

@@ -15,11 +15,11 @@ package framework
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
 	"mamdr/internal/autograd"
+	"mamdr/internal/autograd/kernels"
 	"mamdr/internal/data"
 	"mamdr/internal/metrics"
 	"mamdr/internal/models"
@@ -167,12 +167,14 @@ func Keys() []string {
 
 // --- shared helpers ---
 
-// SigmoidAll converts logits to probabilities.
+// SigmoidAll converts logits to probabilities through the kernels'
+// batched sigmoid — one call for however many rows the logits tensor
+// carries, the vectorized entry point the micro-batched serving path
+// shares with single-request scoring (same expression per element, so
+// batched and unbatched scores are bit-identical).
 func SigmoidAll(logits *autograd.Tensor) []float64 {
 	out := make([]float64, len(logits.Data))
-	for i, v := range logits.Data {
-		out[i] = 1 / (1 + math.Exp(-v))
-	}
+	kernels.SigmoidTo(out, logits.Data)
 	return out
 }
 

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"mamdr/internal/autograd"
+	"mamdr/internal/autograd/kernels"
 )
 
 // Vector is a value-copy of a parameter list, aligned entry for entry
@@ -73,6 +74,22 @@ func (v Vector) Len() int {
 		n += len(v[i])
 	}
 	return n
+}
+
+// Sum returns v + w into a freshly allocated vector in a single pass.
+// It is Add without the intermediate clone: Clone-then-Axpy writes
+// every element twice, and on the serving path — which composes
+// θ_S + θ_d once per (snapshot, domain) — the second pass over
+// multi-megabyte vectors is measurable. Element order and expression
+// (v[i][j] + w[i][j]) match Add bit for bit.
+func Sum(v, w Vector) Vector {
+	mustMatch(v, w)
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = make([]float64, len(v[i]))
+		kernels.AddTo(out[i], v[i], w[i])
+	}
+	return out
 }
 
 // Add returns v + w.

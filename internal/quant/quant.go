@@ -1,0 +1,104 @@
+// Package quant compresses serving-snapshot embedding tables with an
+// int8 symmetric-per-row codec — the serving twin of MAMDR §IV-E's
+// static/dynamic embedding cache. A published snapshot's embedding
+// rows are read-only and Zipf-skewed: a handful of hot users and items
+// dominate traffic while the long tail sits cold in memory. Storing
+// the tables as int8 with one float32 scale per row cuts the resident
+// bytes per row from 8·cols to cols+4 (~7.8× at cols=32), and a small
+// LRU over the dequantized hot rows (RowCache) keeps the head of the
+// distribution served at float speed.
+//
+// The codec is symmetric (no zero point): scale_r = maxAbs(row_r)/127,
+// q = round(x/scale), x̂ = float64(q)·float64(scale). Per-row scaling
+// matters because embedding row norms spread over orders of magnitude
+// — a per-table scale would crush the small rows to zero. The maximum
+// reconstruction error is scale/2 per element, which the codec's tests
+// pin and the serve-level AUC-delta experiment (EXPERIMENTS.md) shows
+// is invisible at ranking granularity.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"mamdr/internal/autograd/kernels"
+)
+
+// Table is one quantized embedding table: Rows×Cols int8 codes plus a
+// float32 scale per row. It is immutable after Quantize and safe for
+// concurrent readers.
+type Table struct {
+	Rows, Cols int
+	// Scales[r] reconstructs row r: x̂ = float64(code)·float64(Scales[r]).
+	Scales []float32
+	// Data holds Rows*Cols codes in row-major order.
+	Data []int8
+}
+
+// Quantize encodes a rows×cols row-major float64 table. An all-zero
+// row gets scale 0 and decodes to exact zeros.
+func Quantize(data []float64, rows, cols int) *Table {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("quant: %d values for %d×%d table", len(data), rows, cols))
+	}
+	t := &Table{
+		Rows: rows, Cols: cols,
+		Scales: make([]float32, rows),
+		Data:   make([]int8, rows*cols),
+	}
+	for r := 0; r < rows; r++ {
+		row := data[r*cols : (r+1)*cols]
+		var maxAbs float64
+		for _, v := range row {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue // scale 0, codes 0
+		}
+		// The scale is stored as float32 and the encoder divides by the
+		// *stored* value, so encode and decode agree on the same grid.
+		scale := float32(maxAbs / 127)
+		t.Scales[r] = scale
+		inv := 1 / float64(scale)
+		out := t.Data[r*cols : (r+1)*cols]
+		for i, v := range row {
+			q := math.RoundToEven(v * inv)
+			if q > 127 {
+				q = 127
+			} else if q < -127 {
+				q = -127
+			}
+			out[i] = int8(q)
+		}
+	}
+	return t
+}
+
+// Row dequantizes row r into dst (len ≥ Cols).
+func (t *Table) Row(r int, dst []float64) {
+	kernels.DequantRowTo(dst[:t.Cols], t.Data[r*t.Cols:(r+1)*t.Cols], t.Scales[r])
+}
+
+// Dequantize reconstructs the whole table into a fresh float64 slice —
+// the offline path the AUC-tradeoff experiment uses; serving goes
+// row-wise through the cache instead.
+func (t *Table) Dequantize() []float64 {
+	out := make([]float64, t.Rows*t.Cols)
+	for r := 0; r < t.Rows; r++ {
+		t.Row(r, out[r*t.Cols:(r+1)*t.Cols])
+	}
+	return out
+}
+
+// BytesPerRow is the resident size of one quantized row: Cols codes
+// plus the float32 scale.
+func (t *Table) BytesPerRow() int { return t.Cols + 4 }
+
+// Float64BytesPerRow is the uncompressed size for comparison.
+func (t *Table) Float64BytesPerRow() int { return 8 * t.Cols }
+
+// MaxError returns the codec's worst-case reconstruction error for row
+// r: half a quantization step.
+func (t *Table) MaxError(r int) float64 { return float64(t.Scales[r]) / 2 }

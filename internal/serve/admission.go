@@ -59,11 +59,20 @@ func (s *Server) retryAfter() int {
 }
 
 // observeServiceTime folds one forward-pass duration into the EWMA via
-// lock-free CAS on the float bits.
-func (s *Server) observeServiceTime(d time.Duration) {
+// lock-free CAS on the float bits. occupancy is how many requests the
+// pass served (1 on the inline path, the batch's rider count on the
+// coalesced path): the EWMA tracks the *marginal* replica cost per
+// request, because that is what admissionVerdict's drain-time
+// projection multiplies by the queue depth — pricing a 64-rider batch
+// as 64 single-request passes would shed traffic the pool can easily
+// absorb.
+func (s *Server) observeServiceTime(d time.Duration, occupancy int) {
+	if occupancy < 1 {
+		occupancy = 1
+	}
 	for {
 		old := s.svcEWMA.Load()
-		next := d.Seconds()
+		next := d.Seconds() / float64(occupancy)
 		if old != 0 {
 			next = (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*next
 		}

@@ -44,13 +44,47 @@ func TestObserveServiceTimeEWMA(t *testing.T) {
 	if s.serviceTime() != 0 {
 		t.Fatalf("initial service time = %v, want 0", s.serviceTime())
 	}
-	s.observeServiceTime(100 * time.Millisecond)
+	s.observeServiceTime(100*time.Millisecond, 1)
 	if got := s.serviceTime(); got != 100*time.Millisecond {
 		t.Fatalf("first observation = %v, want 100ms (seeded, not blended with zero)", got)
 	}
-	s.observeServiceTime(0)
+	s.observeServiceTime(0, 1)
 	if got := s.serviceTime(); got < 79*time.Millisecond || got > 81*time.Millisecond {
 		t.Fatalf("after 0 observation = %v, want ~80ms (alpha %.1f)", got, ewmaAlpha)
+	}
+}
+
+// TestObserveServiceTimeBatchOccupancy: the EWMA must track the
+// *marginal* per-request cost. A 64-rider batch whose forward takes
+// 64ms contributes 1ms per request — the same estimate as a 1ms
+// single-request pass — not 64ms, which would make admissionVerdict's
+// drain-time projection shed traffic a batching pool absorbs trivially.
+func TestObserveServiceTimeBatchOccupancy(t *testing.T) {
+	single := &Server{}
+	single.observeServiceTime(time.Millisecond, 1)
+
+	batched := &Server{}
+	batched.observeServiceTime(64*time.Millisecond, 64)
+
+	if s, b := single.serviceTime(), batched.serviceTime(); s != b {
+		t.Fatalf("marginal cost diverges: occupancy 1 -> %v, occupancy 64 -> %v", s, b)
+	}
+	// The projection consequence, end to end: with a 64ms-per-batch
+	// estimate wrongly priced as per-request, a modest queue sheds on
+	// "deadline"; priced marginally it admits.
+	wrong := &Server{}
+	wrong.observeServiceTime(64*time.Millisecond, 1)
+	if got := admissionVerdict(6, 2, 8, wrong.serviceTime(), 100*time.Millisecond); got != "deadline" {
+		t.Fatalf("sanity: naive pricing should shed, got %q", got)
+	}
+	if got := admissionVerdict(6, 2, 8, batched.serviceTime(), 100*time.Millisecond); got != "" {
+		t.Fatalf("marginal pricing should admit, got %q", got)
+	}
+	// Degenerate occupancy never divides by zero or inflates the EWMA.
+	z := &Server{}
+	z.observeServiceTime(5*time.Millisecond, 0)
+	if got := z.serviceTime(); got != 5*time.Millisecond {
+		t.Fatalf("occupancy 0 clamps to 1: got %v, want 5ms", got)
 	}
 }
 

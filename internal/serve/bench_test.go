@@ -7,12 +7,14 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"mamdr/internal/core"
 	"mamdr/internal/data"
 	"mamdr/internal/framework"
 	"mamdr/internal/models"
 	"mamdr/internal/quality"
+	"mamdr/internal/quant"
 	"mamdr/internal/synth"
 	"mamdr/internal/telemetry"
 )
@@ -43,7 +45,7 @@ func (s *legacyServer) handlePredict(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(PredictResponse{Probabilities: probs})
 }
 
-func benchState(b *testing.B) (*core.State, *data.Dataset, func() models.Model) {
+func benchState(b testing.TB) (*core.State, *data.Dataset, func() models.Model) {
 	b.Helper()
 	ds := synth.Generate(synth.Config{
 		Name: "serve-bench", Seed: 71, ConflictStrength: 0.5,
@@ -147,5 +149,103 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 			Quality: quality.NewTracker(reg, quality.Options{Checks: true}),
 		})
 		drive(b, srv.Handler())
+	})
+}
+
+// BenchmarkServeConcurrent is the bench-guard series for the batched
+// serving path: the same concurrent workload with coalescing off
+// (one forward per request) and on (micro-batched forwards). Run with:
+//
+//	go test ./internal/serve -bench ServeConcurrent -benchtime 300ms
+func BenchmarkServeConcurrent(b *testing.B) {
+	st, ds, factory := benchState(b)
+	body, err := json.Marshal(PredictRequest{Domain: 0, Users: []int{0}, Items: []int{1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	drive := func(b *testing.B, h http.Handler) {
+		b.SetParallelism(32)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(body))
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					b.Fatalf("predict = %d: %s", w.Code, w.Body)
+				}
+			}
+		})
+	}
+	b.Run("batch-off", func(b *testing.B) {
+		srv := NewWithOptions(st, ds, Options{Replicas: 2, ReplicaFactory: factory, MaxQueue: 4096})
+		drive(b, srv.Handler())
+	})
+	b.Run("batch-on", func(b *testing.B) {
+		srv := NewWithOptions(st, ds, Options{
+			Replicas: 2, ReplicaFactory: factory, MaxQueue: 4096,
+			BatchMax: 64, BatchLinger: 100 * time.Microsecond,
+		})
+		defer srv.Close()
+		drive(b, srv.Handler())
+	})
+}
+
+// BenchmarkQuantLookup is the bench-guard series for the quantized
+// lookup path: a cache hit returns a shared decoded row; a miss pays
+// the int8 row decode. Run with:
+//
+//	go test ./internal/serve -bench QuantLookup -benchtime 300ms
+func BenchmarkQuantLookup(b *testing.B) {
+	const rows, cols = 4096, 32
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = float64(i%97)/97 - 0.5
+	}
+	tbl := quant.Quantize(data, rows, cols)
+	fill := func(row int) func([]float64) {
+		return func(dst []float64) { tbl.Row(row, dst) }
+	}
+	b.Run("hit", func(b *testing.B) {
+		c := quant.NewRowCache(64)
+		k := quant.Key{Snap: 1, Row: 7}
+		c.Get(k, cols, fill(7))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Get(k, cols, fill(7))
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := quant.NewRowCache(1) // every distinct row evicts the last
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := i % rows
+			c.Get(quant.Key{Snap: 1, Row: r}, cols, fill(r))
+		}
+	})
+}
+
+// BenchmarkComposeSnapshot measures the publish path's composition
+// cost with -benchmem. "publish" is what composeState now does: wrap
+// references, defer all composition (the lazy scheme). "eager" forces
+// every domain's composition inside the loop — the float traffic the
+// seed's publish path paid up front. The allocs/op gap is the measured
+// satellite: publish-time work no longer scales with the domain zoo.
+func BenchmarkComposeSnapshot(b *testing.B) {
+	st, ds, factory := benchState(b)
+	srv := NewWithOptions(st, ds, Options{Replicas: 1, ReplicaFactory: factory})
+	b.Run("publish", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			srv.composeState(st)
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sn := srv.composeState(st)
+			for d := 0; d < sn.numDomains(); d++ {
+				sn.comp(d)
+			}
+		}
 	})
 }

@@ -47,6 +47,7 @@ import (
 	"time"
 
 	"mamdr/internal/autograd"
+	"mamdr/internal/batch"
 	"mamdr/internal/core"
 	"mamdr/internal/data"
 	"mamdr/internal/faultinject"
@@ -55,6 +56,7 @@ import (
 	"mamdr/internal/paramvec"
 	"mamdr/internal/ps"
 	"mamdr/internal/quality"
+	"mamdr/internal/quant"
 	"mamdr/internal/rollout"
 	"mamdr/internal/telemetry"
 	"mamdr/internal/trace"
@@ -155,6 +157,26 @@ type Options struct {
 	// FeedbackBuffer caps the join buffer's entry count (oldest
 	// evicted first). Default 65536.
 	FeedbackBuffer int
+	// BatchMax enables request coalescing when > 0: concurrent
+	// predictions for the same domain gather into micro-batches of at
+	// most this many rows and share one batched forward pass. 0 keeps
+	// the classic one-request-per-forward path.
+	BatchMax int
+	// BatchLinger bounds how long a lone request waits for batchmates
+	// before its batch flushes anyway. Default 500µs (with BatchMax).
+	// Under saturating traffic batches fill before the linger fires,
+	// so this prices only the idle-tail latency.
+	BatchLinger time.Duration
+	// SnapshotQuant selects the embedding-table storage of serving
+	// snapshots: "off" (default) keeps composed float64 vectors;
+	// "int8" stores composed embedding tables symmetric-per-row
+	// quantized (internal/quant) and restores only each batch's
+	// touched rows through a hot-row dequantization cache. Models
+	// without learned embedding tables serve exactly as "off".
+	SnapshotQuant string
+	// QuantCacheRows caps the shared dequantization LRU (rows held
+	// decoded across all domains and snapshots). Default 4096.
+	QuantCacheRows int
 }
 
 func (o Options) withDefaults() Options {
@@ -182,17 +204,13 @@ func (o Options) withDefaults() Options {
 	if o.InitialVersion == 0 {
 		o.InitialVersion = 1
 	}
+	if o.BatchMax > 0 && o.BatchLinger <= 0 {
+		o.BatchLinger = 500 * time.Microsecond
+	}
+	if o.QuantCacheRows <= 0 {
+		o.QuantCacheRows = 4096
+	}
 	return o
-}
-
-// snapshot is the immutable view predictions serve from. A new one is
-// published wholesale on every state mutation; the composed vectors are
-// never written after publication, so any number of replicas may
-// restore from them concurrently.
-type snapshot struct {
-	// composed[d] is θ_S + θ_d (Eq. 4), ready to load into a replica.
-	composed []paramvec.Vector
-	names    []string
 }
 
 // view is what the request path reads in one atomic load: the
@@ -268,6 +286,12 @@ type Server struct {
 	metrics  *serveMetrics
 	quality  *quality.Tracker
 	feedback *quality.JoinBuffer
+
+	// quantCfg, when non-nil, quantizes every snapshot's embedding
+	// tables to int8 (Options.SnapshotQuant); coalescer, when non-nil,
+	// micro-batches /predict requests (Options.BatchMax).
+	quantCfg  *quantConfig
+	coalescer *batch.Coalescer
 }
 
 // gate returns the attached rollout controller, nil when none; every
@@ -313,6 +337,15 @@ func NewWithOptions(state *core.State, dataset *data.Dataset, opts Options) *Ser
 		}
 		s.pool <- &replica{model: m, params: params}
 	}
+	switch opts.SnapshotQuant {
+	case "", "off":
+	case "int8":
+		// Nil when the model has no learned embedding tables (the
+		// fixed-feature presets): nothing to quantize, serve as "off".
+		s.quantCfg = newQuantConfig(state.Model, opts.QuantCacheRows)
+	default:
+		panic(fmt.Sprintf("serve: unknown SnapshotQuant %q (off or int8)", opts.SnapshotQuant))
+	}
 	s.view.Store(&view{
 		incumbent:    s.compose(),
 		incumbentV:   opts.InitialVersion,
@@ -327,31 +360,22 @@ func NewWithOptions(state *core.State, dataset *data.Dataset, opts Options) *Ser
 		s.quality = opts.Quality
 		s.feedback = quality.NewJoinBuffer(opts.FeedbackBuffer, opts.FeedbackTTL, nil)
 	}
+	if opts.BatchMax > 0 {
+		s.coalescer = batch.New(batch.Options{
+			MaxRows: opts.BatchMax,
+			Linger:  opts.BatchLinger,
+			Run:     s.runBatch,
+			OnFlush: func(_ int, requests, rows int, waited time.Duration, reason string) {
+				s.metrics.batchFlush(requests, rows, waited, reason, opts.BatchMax)
+			},
+		})
+	}
 	return s
 }
 
-// compose precomposes every domain's serving parameters from the
-// current state. Callers must hold mu (or be the constructor).
+// compose wraps the current state as a servable snapshot. Callers must
+// hold mu (or be the constructor).
 func (s *Server) compose() *snapshot { return s.composeState(s.state) }
-
-// composeState precomposes every domain of an arbitrary state — the
-// publish path composes the staged state off the request path before
-// anything is installed.
-func (s *Server) composeState(st *core.State) *snapshot {
-	snap := &snapshot{
-		composed: make([]paramvec.Vector, len(st.Specific)),
-		names:    make([]string, len(st.Specific)),
-	}
-	for d := range st.Specific {
-		snap.composed[d] = st.ComposedFor(d)
-		if d < len(s.dataset.Domains) {
-			snap.names[d] = s.dataset.Domains[d].Name
-		} else {
-			snap.names[d] = fmt.Sprintf("runtime-%d", d)
-		}
-	}
-	return snap
-}
 
 // AddDomain registers a new domain at runtime and publishes a snapshot
 // that serves it with the shared parameters (its specific vector starts
@@ -360,28 +384,19 @@ func (s *Server) AddDomain() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := s.state.AddDomain()
-	// Only the new domain's composition is missing; existing composed
-	// vectors are immutable and carried over.
+	// Only the new domain is missing; existing compositions are
+	// immutable and carried over by extend.
 	old := s.view.Load()
 	nv := *old
-	nv.incumbent = extendSnapshot(old.incumbent, s.state.ComposedFor(id), id)
+	nv.incumbent = old.incumbent.extend(s.state.Specific[id], id)
 	// A staged canary must stay domain-aligned with the incumbent, or a
 	// later promote would silently lose the registration.
 	if s.pendingState != nil {
 		s.pendingState.AddDomain()
-		nv.canary = extendSnapshot(old.canary, s.pendingState.ComposedFor(id), id)
+		nv.canary = old.canary.extend(s.pendingState.Specific[id], id)
 	}
 	s.view.Store(&nv)
 	return id
-}
-
-// extendSnapshot appends one domain's composition without touching the
-// published snapshot (capped appends: the old slices stay immutable).
-func extendSnapshot(old *snapshot, composed paramvec.Vector, id int) *snapshot {
-	return &snapshot{
-		composed: append(old.composed[:len(old.composed):len(old.composed)], composed),
-		names:    append(old.names[:len(old.names):len(old.names)], fmt.Sprintf("runtime-%d", id)),
-	}
 }
 
 // validateStateLocked checks a candidate state is structurally
@@ -486,6 +501,15 @@ type AddDomainResponse struct {
 // but /healthz stays green and in-flight requests complete — the
 // standard graceful-shutdown handshake.
 func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Close flushes and closes the request coalescer (if batching is on):
+// queued requests complete, later submissions get a clean 503. Call it
+// after the HTTP server has stopped accepting connections.
+func (s *Server) Close() {
+	if s.coalescer != nil {
+		s.coalescer.Close()
+	}
+}
 
 // Handler returns the HTTP routes:
 //
@@ -617,10 +641,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	v := s.view.Load()
 	snap, version := v.incumbent, v.incumbentV
-	if v.canary != nil && req.Domain >= 0 && req.Domain < len(v.canary.composed) && routeToCanary(rid, v.fraction) {
+	if v.canary != nil && req.Domain >= 0 && req.Domain < v.canary.numDomains() && routeToCanary(rid, v.fraction) {
 		snap, version = v.canary, v.canaryV
 	}
-	if req.Domain < 0 || req.Domain >= len(snap.composed) {
+	if req.Domain < 0 || req.Domain >= snap.numDomains() {
 		http.Error(w, fmt.Sprintf("unknown domain %d", req.Domain), http.StatusNotFound)
 		return
 	}
@@ -635,6 +659,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ins[i] = data.Interaction{User: req.Users[i], Item: req.Items[i]}
+	}
+
+	// Micro-batched path: the coalescer gathers this request with its
+	// concurrent batchmates; arm routing re-resolves per item at flush
+	// time from ONE view load per batch, preserving the same
+	// ID-deterministic assignment.
+	if s.coalescer != nil {
+		s.predictBatched(w, r, start, rid, req.Domain, ins)
+		return
 	}
 	batch := s.dataset.MakeBatch(req.Domain, ins)
 
@@ -665,16 +698,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		predictSpan.End()
 		s.pool <- rep
 		s.metrics.release()
-		s.observeServiceTime(time.Since(predictStart))
-		resp := PredictResponse{Probabilities: probs}
-		if s.quality != nil {
-			resp.RequestID = s.recordPrediction(rid, snap.names[req.Domain], version, probs)
-		}
-		// The gate compares arms on the dense score signal; with no
-		// canary in flight this is a no-op.
-		s.gate().ObserveScores(version, probs)
-		s.writeJSON(w, r, resp)
-		s.metrics.latencyFor(snap.names[req.Domain]).Observe(time.Since(start).Seconds())
+		s.observeServiceTime(time.Since(predictStart), 1)
+		s.respondPredict(w, r, start, rid, snap.names[req.Domain], version, probs)
 	case <-ctx.Done():
 		waitSpan.EndWith(trace.A("timeout", true))
 		// Tell well-behaved clients when to come back: the pool is
@@ -695,15 +720,64 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// predictOn loads the domain's precomposed parameters into the replica
-// and runs the forward pass. The composed vector is read-only; the
+// respondPredict is the shared response tail for the inline and batched
+// predict paths: quality recording, gate observation, JSON write, and
+// the per-domain latency observation — in exactly this order.
+func (s *Server) respondPredict(w http.ResponseWriter, r *http.Request, start time.Time, rid, domain string, version uint64, probs []float64) {
+	resp := PredictResponse{Probabilities: probs}
+	if s.quality != nil {
+		resp.RequestID = s.recordPrediction(rid, domain, version, probs)
+	}
+	// The gate compares arms on the dense score signal; with no
+	// canary in flight this is a no-op.
+	s.gate().ObserveScores(version, probs)
+	s.writeJSON(w, r, resp)
+	s.metrics.latencyFor(domain).Observe(time.Since(start).Seconds())
+}
+
+// predictOn loads the domain's composed parameters into the replica and
+// runs the forward pass. The composed vector is read-only; the
 // replica's tensors are exclusively ours while it is out of the pool.
 func (s *Server) predictOn(rep *replica, snap *snapshot, domain int, b *data.Batch) []float64 {
-	paramvec.Restore(rep.params, snap.composed[domain])
+	c := snap.comp(domain)
+	if snap.quant == nil {
+		paramvec.Restore(rep.params, c.dense)
+	} else {
+		s.restoreQuantized(rep, snap, domain, c, b)
+	}
 	logits := rep.model.Forward(b, false)
 	probs := framework.SigmoidAll(logits)
 	logits.Release()
 	return probs
+}
+
+// restoreQuantized loads the replica for a quantized snapshot: dense
+// (non-table) segments copy wholesale, and for each embedding table
+// only the rows this batch's field values gather are dequantized —
+// through the shared hot-row cache — into the replica's tensor. Rows
+// the batch does not touch keep stale values, which is safe by the
+// EmbeddingTabler contract: the forward pass reads exactly the gathered
+// rows, the same guarantee the parameter server's row-wise sync leans
+// on during training.
+func (s *Server) restoreQuantized(rep *replica, snap *snapshot, domain int, c *domainComp, b *data.Batch) {
+	for p, seg := range c.dense {
+		if seg != nil {
+			copy(rep.params[p].Data, seg)
+		}
+	}
+	for p, dim := range snap.quant.tables {
+		tbl := c.tables[p]
+		dst := rep.params[p].Data
+		for _, row := range b.FieldValues[dim.field] {
+			dec := snap.quant.cache.Get(
+				quant.Key{Snap: snap.id, Domain: domain, Param: p, Row: row},
+				dim.cols,
+				func(out []float64) { tbl.Row(row, out) },
+			)
+			copy(dst[row*dim.cols:(row+1)*dim.cols], dec)
+		}
+	}
+	s.metrics.quantCache(snap.quant.cache.Stats())
 }
 
 // recordPrediction feeds the quality tracker with the served scores and
@@ -774,7 +848,7 @@ func (s *Server) handleDomains(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		snap := s.view.Load().incumbent
-		s.writeJSON(w, r, DomainsResponse{NumDomains: len(snap.composed), Names: snap.names})
+		s.writeJSON(w, r, DomainsResponse{NumDomains: snap.numDomains(), Names: snap.names})
 	case http.MethodPost:
 		s.writeJSON(w, r, AddDomainResponse{ID: s.AddDomain()})
 	default:

@@ -1,0 +1,169 @@
+// This file is the serving snapshot representation: per-domain lazy
+// composition of θ_S + θ_d and the optional int8 quantization of the
+// composed embedding tables (internal/quant).
+//
+// The seed representation eagerly composed every domain at publish
+// time — O(domains × params) float traffic on the publish path, which
+// spikes allocations on a large domain zoo where most domains see no
+// traffic between publications. Here a snapshot holds only references
+// to the state's shared and specific vectors (immutable once
+// published) and composes each domain's serving parameters on first
+// use. Racing composers compute bit-identical values (composition is
+// deterministic), so the CAS loser simply adopts the winner's copy.
+
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"mamdr/internal/core"
+	"mamdr/internal/models"
+	"mamdr/internal/paramvec"
+	"mamdr/internal/quant"
+)
+
+// snapSeq hands every snapshot a process-unique identity — the cache
+// namespace keeping dequantized rows of different snapshots apart.
+var snapSeq atomic.Uint64
+
+// snapshot is the immutable view predictions serve from. The parameter
+// vectors it references are never written after publication, so any
+// number of replicas may read them concurrently; the lazily composed
+// per-domain entries are write-once behind an atomic pointer.
+type snapshot struct {
+	id uint64
+	// shared and specific reference the published state's vectors;
+	// composed[d] = shared + specific[d] (Eq. 4) materializes on demand.
+	shared   paramvec.Vector
+	specific []paramvec.Vector
+	names    []string
+	// quant, when non-nil, stores composed embedding tables as int8
+	// instead of float64 (the rest of the vector stays dense).
+	quant *quantConfig
+	// domains[d] caches domain d's composition; nil until first use.
+	domains []atomic.Pointer[domainComp]
+}
+
+// domainComp is one domain's materialized serving parameters.
+type domainComp struct {
+	// dense is θ_S + θ_d. Under int8 quantization the embedding-table
+	// segments are nil — those rows live in tables.
+	dense paramvec.Vector
+	// tables[paramIdx] is the quantized composed embedding table
+	// (int8 mode only).
+	tables map[int]*quant.Table
+}
+
+// numDomains reports how many domains the snapshot serves.
+func (sn *snapshot) numDomains() int { return len(sn.specific) }
+
+// comp returns domain d's composition, materializing it on first use.
+func (sn *snapshot) comp(d int) *domainComp {
+	if c := sn.domains[d].Load(); c != nil {
+		return c
+	}
+	c := sn.composeDomain(d)
+	if sn.domains[d].CompareAndSwap(nil, c) {
+		return c
+	}
+	// Lost the race: both compositions are bit-identical, but adopting
+	// the winner keeps exactly one backing array alive.
+	return sn.domains[d].Load()
+}
+
+func (sn *snapshot) composeDomain(d int) *domainComp {
+	full := paramvec.Sum(sn.shared, sn.specific[d])
+	c := &domainComp{dense: full}
+	if sn.quant != nil {
+		c.tables = make(map[int]*quant.Table, len(sn.quant.tables))
+		for p, dim := range sn.quant.tables {
+			c.tables[p] = quant.Quantize(full[p], dim.rows, dim.cols)
+			full[p] = nil // served from the table; drop the float copy
+		}
+	}
+	return c
+}
+
+// extend appends one domain without touching the published snapshot
+// (capped appends: the old slices stay immutable) and carries over
+// every already-materialized composition. The snapshot id is kept —
+// existing domains' cached rows stay valid because their inputs are
+// unchanged.
+func (sn *snapshot) extend(specific paramvec.Vector, id int) *snapshot {
+	n := len(sn.specific)
+	out := &snapshot{
+		id:       sn.id,
+		shared:   sn.shared,
+		specific: append(sn.specific[:n:n], specific),
+		names:    append(sn.names[:n:n], fmt.Sprintf("runtime-%d", id)),
+		quant:    sn.quant,
+		domains:  make([]atomic.Pointer[domainComp], n+1),
+	}
+	for d := 0; d < n; d++ {
+		if c := sn.domains[d].Load(); c != nil {
+			out.domains[d].Store(c)
+		}
+	}
+	return out
+}
+
+// quantConfig is the server-wide quantization setup: which Parameters()
+// indices are embedding tables, their geometry, and the shared hot-row
+// dequantization cache. Nil when -snapshot-quant=off or the model has
+// no learned embedding tables (fixed-feature presets).
+type quantConfig struct {
+	tables map[int]tableDim
+	cache  *quant.RowCache
+}
+
+// tableDim is one embedding table's geometry plus the batch field whose
+// values index it.
+type tableDim struct {
+	rows, cols int
+	field      int
+}
+
+// newQuantConfig classifies the model's parameters via the same
+// EmbeddingTabler contract the parameter server uses for row-wise
+// sync — the contract guarantees a forward pass reads only the rows
+// the batch's field values gather, which is exactly what lets the
+// quantized path restore touched rows only.
+func newQuantConfig(m models.Model, cacheRows int) *quantConfig {
+	emb := models.EmbeddingTablesOf(m)
+	if len(emb) == 0 {
+		return nil
+	}
+	params := m.Parameters()
+	qc := &quantConfig{
+		tables: make(map[int]tableDim, len(emb)),
+		cache:  quant.NewRowCache(cacheRows),
+	}
+	for p, f := range emb {
+		t := params[p]
+		qc.tables[p] = tableDim{rows: t.Rows, cols: t.Cols, field: f}
+	}
+	return qc
+}
+
+// composeState wraps an arbitrary state as a servable snapshot — the
+// publish path does this off the request path before anything is
+// installed. Composition itself is deferred per domain.
+func (s *Server) composeState(st *core.State) *snapshot {
+	sn := &snapshot{
+		id:       snapSeq.Add(1),
+		shared:   st.Shared,
+		specific: append([]paramvec.Vector(nil), st.Specific...),
+		names:    make([]string, len(st.Specific)),
+		quant:    s.quantCfg,
+		domains:  make([]atomic.Pointer[domainComp], len(st.Specific)),
+	}
+	for d := range sn.names {
+		if d < len(s.dataset.Domains) {
+			sn.names[d] = s.dataset.Domains[d].Name
+		} else {
+			sn.names[d] = fmt.Sprintf("runtime-%d", d)
+		}
+	}
+	return sn
+}

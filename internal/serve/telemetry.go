@@ -29,14 +29,27 @@ type serveMetrics struct {
 	snapshotVersion *telemetry.Gauge
 	canaryVersion   *telemetry.Gauge
 
+	// Micro-batching instruments (Options.BatchMax > 0): flush shape,
+	// linger tail, and how full batches run relative to BatchMax.
+	batchRequests  *telemetry.Histogram
+	batchRows      *telemetry.Histogram
+	batchLinger    *telemetry.Histogram
+	batchOccupancy *telemetry.Histogram
+
+	// Quantized-snapshot instruments (Options.SnapshotQuant = "int8").
+	quantHits   *telemetry.Gauge
+	quantMisses *telemetry.Gauge
+	quantRatio  *telemetry.Gauge
+
 	// codeCounters, latencies, and scoreHists cache instrument pointers
 	// so the hot request path skips the registry's mutex-guarded lookup
 	// (the registry is get-or-create, so a racing double-create is
 	// benign — both callers get the same series).
-	codeCounters sync.Map // int -> *telemetry.Counter
-	latencies    sync.Map // string -> *telemetry.Histogram
-	scoreHists   sync.Map // string -> *telemetry.Histogram
-	shedCounters sync.Map // string -> *telemetry.Counter
+	codeCounters  sync.Map // int -> *telemetry.Counter
+	latencies     sync.Map // string -> *telemetry.Histogram
+	scoreHists    sync.Map // string -> *telemetry.Histogram
+	shedCounters  sync.Map // string -> *telemetry.Counter
+	flushCounters sync.Map // string -> *telemetry.Counter
 
 	inflight atomic.Int64
 	replicas int
@@ -62,6 +75,24 @@ func newServeMetrics(reg *telemetry.Registry, replicas int) *serveMetrics {
 			"Version of the incumbent serving snapshot."),
 		canaryVersion: reg.Gauge("mamdr_serve_canary_version",
 			"Version of the canary snapshot taking traffic (0 when none)."),
+		batchRequests: reg.Histogram("mamdr_serve_batch_requests",
+			"Requests coalesced per micro-batch flush.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		batchRows: reg.Histogram("mamdr_serve_batch_rows",
+			"User-item rows per micro-batch flush.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		batchLinger: reg.Histogram("mamdr_serve_batch_linger_seconds",
+			"How long each flushed batch's oldest request waited for batchmates.",
+			[]float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05}),
+		batchOccupancy: reg.Histogram("mamdr_serve_batch_occupancy",
+			"Flushed batch rows divided by the configured BatchMax.",
+			telemetry.LinearBuckets(0.125, 0.125, 8)),
+		quantHits: reg.Gauge("mamdr_serve_quant_cache_hits_total",
+			"Cumulative dequantization row-cache hits."),
+		quantMisses: reg.Gauge("mamdr_serve_quant_cache_misses_total",
+			"Cumulative dequantization row-cache misses (int8 decodes)."),
+		quantRatio: reg.Gauge("mamdr_serve_quant_cache_hit_ratio",
+			"Dequantization row-cache hit ratio over the process lifetime."),
 		replicas: replicas,
 	}
 	m.poolSize.Set(float64(replicas))
@@ -129,6 +160,41 @@ func (m *serveMetrics) shed(reason string) {
 		m.shedCounters.Store(reason, c)
 	}
 	c.(*telemetry.Counter).Inc()
+}
+
+// batchFlush records one coalescer flush: its request/row shape, the
+// oldest rider's wait, the trigger reason, and the occupancy relative
+// to the configured batch bound.
+func (m *serveMetrics) batchFlush(requests, rows int, waited time.Duration, reason string, maxRows int) {
+	if m == nil {
+		return
+	}
+	m.batchRequests.Observe(float64(requests))
+	m.batchRows.Observe(float64(rows))
+	m.batchLinger.Observe(waited.Seconds())
+	if maxRows > 0 {
+		m.batchOccupancy.Observe(float64(rows) / float64(maxRows))
+	}
+	c, ok := m.flushCounters.Load(reason)
+	if !ok {
+		c = m.reg.Counter("mamdr_serve_batch_flushes_total",
+			"Micro-batch flushes by trigger (full, linger, close).",
+			telemetry.L("reason", reason))
+		m.flushCounters.Store(reason, c)
+	}
+	c.(*telemetry.Counter).Inc()
+}
+
+// quantCache publishes the dequantization cache's cumulative counters.
+func (m *serveMetrics) quantCache(hits, misses int64) {
+	if m == nil {
+		return
+	}
+	m.quantHits.Set(float64(hits))
+	m.quantMisses.Set(float64(misses))
+	if total := hits + misses; total > 0 {
+		m.quantRatio.Set(float64(hits) / float64(total))
+	}
 }
 
 // snapshotVersions publishes the live snapshot identities (canary 0

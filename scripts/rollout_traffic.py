@@ -19,9 +19,11 @@ Stdlib only (urllib); the dataset JSON comes from `datagen -out`.
 """
 
 import argparse
+import concurrent.futures
 import json
 import random
 import sys
+import threading
 import urllib.request
 
 
@@ -62,13 +64,21 @@ def main():
     ap.add_argument("--batch", type=int, default=16)
     ap.add_argument("--seed", type=int, default=1)
     ap.add_argument("--timeout", type=float, default=10.0)
+    ap.add_argument("--workers", type=int, default=1,
+                    help="concurrent request threads (>1 gives a batching server real batchmates to coalesce)")
+    ap.add_argument("--dump-scores", default="",
+                    help="write one JSON line per predict request ({rid, domain, scores}), sorted by rid -- "
+                         "diffing two dumps of the same replay proves batched == unbatched bit-identically")
     args = ap.parse_args()
 
     with open(args.data) as f:
         ds = json.load(f)
     rng = random.Random(args.seed)
 
-    seq = requests = joined = labels_sent = 0
+    # Build the full job list up front; the rid fixes each job's arm, so
+    # execution order (or concurrency) cannot change what is compared.
+    jobs = []
+    seq = 0
     for dom in ds["Domains"]:
         ins = list(dom.get("Val") or []) + list(dom.get("Test") or [])
         if not ins:
@@ -79,32 +89,56 @@ def main():
             chunk = ins[start : start + args.batch]
             seq += 1
             for arm in ("canary", "incumbent"):
-                rid = rid_for(arm, seq, args.fraction)
-                resp = post(
-                    args.base + "/predict",
-                    {
-                        "domain": dom["ID"],
-                        "users": [i["User"] for i in chunk],
-                        "items": [i["Item"] for i in chunk],
-                    },
-                    args.timeout,
-                    rid=rid,
-                )
-                requests += 1
-                got = resp.get("request_id")
-                if got != rid:
-                    print("server ignored X-Request-ID: sent %s, got %s" % (rid, got), file=sys.stderr)
-                    return 1
-                fb = post(
-                    args.base + "/feedback",
-                    {"request_id": rid, "labels": [float(i["Label"]) for i in chunk]},
-                    args.timeout,
-                )
-                joined += 1
-                labels_sent += fb.get("joined", 0)
+                jobs.append((rid_for(arm, seq, args.fraction), dom["ID"], chunk))
 
-    print("mirrored: %d predict requests (%d pairs), %d feedback joins, %d labels" % (requests, seq, joined, labels_sent))
-    if joined == 0:
+    lock = threading.Lock()
+    totals = {"requests": 0, "joined": 0, "labels": 0}
+    dumped = []
+
+    def run(job):
+        rid, domain, chunk = job
+        resp = post(
+            args.base + "/predict",
+            {
+                "domain": domain,
+                "users": [i["User"] for i in chunk],
+                "items": [i["Item"] for i in chunk],
+            },
+            args.timeout,
+            rid=rid,
+        )
+        got = resp.get("request_id")
+        if got != rid:
+            raise RuntimeError("server ignored X-Request-ID: sent %s, got %s" % (rid, got))
+        fb = post(
+            args.base + "/feedback",
+            {"request_id": rid, "labels": [float(i["Label"]) for i in chunk]},
+            args.timeout,
+        )
+        with lock:
+            totals["requests"] += 1
+            totals["joined"] += 1
+            totals["labels"] += fb.get("joined", 0)
+            if args.dump_scores:
+                dumped.append({"rid": rid, "domain": domain, "scores": resp["probabilities"]})
+
+    if args.workers > 1:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=args.workers) as pool:
+            for err in pool.map(run, jobs):
+                _ = err
+    else:
+        for job in jobs:
+            run(job)
+
+    if args.dump_scores:
+        with open(args.dump_scores, "w") as f:
+            for rec in sorted(dumped, key=lambda r: r["rid"]):
+                f.write(json.dumps(rec, sort_keys=True) + "\n")
+        print("dumped %d score records to %s" % (len(dumped), args.dump_scores))
+
+    print("mirrored: %d predict requests (%d pairs), %d feedback joins, %d labels"
+          % (totals["requests"], seq, totals["joined"], totals["labels"]))
+    if totals["joined"] == 0:
         print("no feedback joined -- is the server running with -quality?", file=sys.stderr)
         return 1
     return 0
